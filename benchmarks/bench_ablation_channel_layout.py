@@ -1,0 +1,50 @@
+"""Ablation — Bare-NVDIMM dual-channel vs DRAM-like layout (Fig. 13).
+
+The paper argues the dual-channel design (two 32 B dies per chip enable)
+serves a 64 B cacheline with two dies while the DRAM-like design enables
+all eight, wasting PRAM resources and serializing requests.  This bench
+runs the same workload on both layouts and reports the penalty.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ExperimentResult
+from repro.cpu import MultiCoreComplex
+from repro.ocpmem import PSM, PSMConfig
+from repro.workloads import load_workload
+
+
+def _run_layout(layout, workload):
+    psm = PSM(PSMConfig(
+        lines_per_dimm=1 << 17,
+        layout=layout,
+        # the DRAM-like strawman has no dual-channel reconstruction
+        ecc_reconstruction=(layout == "dual_channel"),
+        write_aggregation=(layout == "dual_channel"),
+    ))
+    cx = MultiCoreComplex(psm, cores=8)
+    result = cx.run_traces(workload.traces())
+    return result.wall_ns, psm.read_latency.mean
+
+
+def _ablation(refs=10_000):
+    workload = load_workload("snap", refs=refs)
+    rows = []
+    walls = {}
+    for layout in ("dual_channel", "dram_like"):
+        wall, read_ns = _run_layout(layout, workload)
+        walls[layout] = wall
+        rows.append([layout, round(wall / 1e6, 3), round(read_ns, 1)])
+    return ExperimentResult(
+        experiment="ablation_layout",
+        title="Bare-NVDIMM layout ablation on snap (multithreaded)",
+        columns=["layout", "wall_ms", "read_ns"],
+        rows=rows,
+        notes={"dram_like_slowdown": walls["dram_like"] / walls["dual_channel"]},
+    )
+
+
+def test_ablation_channel_layout(benchmark, record_result):
+    result = run_once(benchmark, _ablation)
+    record_result(result)
+    assert result.notes["dram_like_slowdown"] > 1.3

@@ -1,0 +1,54 @@
+"""Ablation — background kernel threads and the read-blocking tail.
+
+The paper runs every workload "upon our system already running tens of
+kernel threads".  This ablation shows why that matters for Fig. 16:
+without background write traffic, a read-mostly workload (mcf) almost
+never meets a busy die on the baseline, and the head-of-line-blocking
+ratio collapses toward 1.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ExperimentResult
+from repro.core import Machine, PlatformConfig
+from repro.workloads import load_workload
+
+
+def _read_latency(platform, workload, noise):
+    config = PlatformConfig(kernel_noise=noise)
+    machine = Machine.for_workload(platform, workload, config)
+    machine.run(workload)
+    return machine.backend.read_latency.mean
+
+
+def _ablation(refs=10_000):
+    rows = []
+    ratios = {}
+    for noise in (False, True):
+        workload = load_workload("mcf", refs=refs)
+        light = _read_latency("lightpc", workload, noise)
+        baseline = _read_latency("lightpc_b", workload, noise)
+        ratio = baseline / light
+        ratios[noise] = ratio
+        rows.append([
+            "with-noise" if noise else "quiet",
+            round(light, 1), round(baseline, 1), round(ratio, 2),
+        ])
+    return ExperimentResult(
+        experiment="ablation_noise",
+        title="Kernel background traffic vs mcf's read-blocking ratio",
+        columns=["config", "lightpc_read_ns", "lightpc_b_read_ns", "ratio"],
+        rows=rows,
+        notes={
+            "quiet_ratio": ratios[False],
+            "noisy_ratio": ratios[True],
+        },
+    )
+
+
+def test_ablation_kernel_noise(benchmark, record_result):
+    result = run_once(benchmark, _ablation)
+    record_result(result)
+    # background writes are what expose mcf's reads to busy dies
+    assert result.notes["noisy_ratio"] > result.notes["quiet_ratio"]
+    assert result.notes["quiet_ratio"] < 2.0

@@ -1,0 +1,68 @@
+"""Ablation — which PSM mechanism buys what (DESIGN.md §5).
+
+LightPC's gap over LightPC-B comes from three mechanisms: write
+aggregation (row buffers + staggered drains), ECC read reconstruction,
+and early-return writes.  This bench toggles them one at a time on a
+read-after-write-heavy workload and reports execution time and mean
+memory read latency, reproducing the paper's design argument that
+non-blocking reads are the decisive feature.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ExperimentResult
+from repro.cpu import MultiCoreComplex
+from repro.ocpmem import PSM, PSMConfig
+from repro.workloads import load_workload
+
+VARIANTS = {
+    "lightpc_full": {},
+    "no_reconstruction": {"ecc_reconstruction": False},
+    "no_aggregation": {"write_aggregation": False},
+    "no_early_return": {"early_return_writes": False,
+                        "write_aggregation": False},
+    "lightpc_b": {"ecc_reconstruction": False, "write_aggregation": False,
+                  "early_return_writes": False},
+}
+
+
+def _run_variant(overrides, workload):
+    psm = PSM(PSMConfig(lines_per_dimm=1 << 17, **overrides))
+    cx = MultiCoreComplex(psm, cores=8)
+    result = cx.run_traces(workload.traces())
+    return result.wall_ns, psm.read_latency.mean, psm.reconstructions
+
+
+def _ablation(refs=12_000):
+    workload = load_workload("wrf", refs=refs)
+    rows = []
+    baseline_wall = None
+    for name, overrides in VARIANTS.items():
+        wall, read_ns, recon = _run_variant(overrides, workload)
+        if baseline_wall is None:
+            baseline_wall = wall
+        rows.append([
+            name, round(wall / 1e6, 3), round(wall / baseline_wall, 2),
+            round(read_ns, 1), recon,
+        ])
+    by = {r[0]: r for r in rows}
+    return ExperimentResult(
+        experiment="ablation_psm",
+        title="PSM feature ablation on wrf (read-after-write heavy)",
+        columns=["variant", "wall_ms", "vs_full", "read_ns", "reconstructions"],
+        rows=rows,
+        notes={
+            "no_reconstruction_slowdown": by["no_reconstruction"][2],
+            "lightpc_b_slowdown": by["lightpc_b"][2],
+        },
+    )
+
+
+def test_ablation_psm_features(benchmark, record_result):
+    result = run_once(benchmark, _ablation)
+    record_result(result)
+    # Disabling reconstruction alone must already hurt; the full baseline
+    # must hurt at least as much.
+    assert result.notes["no_reconstruction_slowdown"] > 1.05
+    assert result.notes["lightpc_b_slowdown"] >= \
+        result.notes["no_reconstruction_slowdown"] * 0.9

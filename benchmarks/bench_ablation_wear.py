@@ -1,0 +1,62 @@
+"""Ablation — Start-Gap threshold sweep and seed rotation (§V-A, §VIII).
+
+Sweeps the gap-movement threshold against an adversarial single-hot-line
+write stream and reports wear imbalance (max/mean physical writes) and
+bookkeeping overhead, plus the future-work seed-rotation variant.
+"""
+
+from conftest import run_once
+
+from repro.analysis import ExperimentResult
+from repro.ocpmem import StartGap
+
+LINES = 256
+WRITES = LINES * 12
+
+
+def _stress(sg):
+    overhead = 0.0
+    for _ in range(WRITES):
+        overhead += sg.record_write(7)  # adversarial hot line
+    return overhead
+
+
+def _ablation():
+    rows = []
+    notes = {}
+    for threshold in (10, 100, 1000):
+        sg = StartGap(lines=LINES, threshold=threshold, track_wear=True,
+                      randomize_unit=1)
+        overhead = _stress(sg)
+        imbalance = sg.wear_imbalance()
+        rows.append([
+            f"threshold={threshold}", round(imbalance, 1),
+            len(sg.physical_writes), round(overhead / 1e3, 1),
+        ])
+        notes[f"imbalance_t{threshold}"] = imbalance
+    rotated = StartGap(lines=LINES, threshold=10, track_wear=True,
+                       randomize_unit=1, rotate_seed_every=1)
+    overhead = _stress(rotated)
+    rows.append([
+        "threshold=10+rotate", round(rotated.wear_imbalance(), 1),
+        len(rotated.physical_writes), round(overhead / 1e3, 1),
+    ])
+    notes["imbalance_rotated"] = rotated.wear_imbalance()
+    notes["rotations"] = float(rotated.seed_rotations)
+    return ExperimentResult(
+        experiment="ablation_wear",
+        title="Start-Gap ablation: hot-line wear vs threshold and rotation",
+        columns=["config", "wear_imbalance", "slots_touched", "overhead_us"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+def test_ablation_wear(benchmark, record_result):
+    result = run_once(benchmark, _ablation)
+    record_result(result)
+    # tighter thresholds level better
+    assert result.notes["imbalance_t10"] < result.notes["imbalance_t1000"]
+    # the future-work rotation spreads the hot line further still
+    assert result.notes["rotations"] >= 1
+    assert result.notes["imbalance_rotated"] <= result.notes["imbalance_t10"]

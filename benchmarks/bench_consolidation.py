@@ -1,0 +1,19 @@
+"""Server-consolidation study: co-located pairs per platform."""
+
+from conftest import run_once
+
+from repro.analysis.consolidation import consolidation_study
+
+
+def test_consolidation_study(benchmark, record_result):
+    result = run_once(benchmark, consolidation_study)
+    record_result(result)
+    notes = result.notes
+    # co-location costs something everywhere
+    assert notes["legacy_mean_slowdown"] > 1.0
+    assert notes["lightpc_mean_slowdown"] > 1.0
+    # LightPC tolerates neighbours roughly as well as DRAM; the baseline
+    # without the PSM's non-blocking services degrades the most
+    assert notes["lightpc_vs_legacy_interference"] < 1.6
+    assert notes["lightpc_b_mean_slowdown"] >= \
+        notes["lightpc_mean_slowdown"] * 0.9

@@ -1,0 +1,17 @@
+"""Endurance projection (quantifying the §VIII write-endurance argument)."""
+
+from conftest import run_once
+
+from repro.analysis.endurance import endurance_projection
+
+
+def test_endurance_projection(benchmark, record_result):
+    result = run_once(benchmark, endurance_projection)
+    record_result(result)
+    # the cache + row-buffer stack filters CPU references heavily before
+    # they reach the media (the paper's core §VIII argument)
+    assert result.notes["min_filter_ratio"] > 5.0
+    # leveled, even the pessimistic endurance corner outlives deployment
+    assert result.notes["worst_leveled_years_at_1e6"] > 10.0
+    # unleveled, a hot line dies absurdly fast — leveling is mandatory
+    assert result.notes["worst_unleveled_days_at_1e6"] < 365.0

@@ -1,0 +1,17 @@
+"""Measured execution time series (warmup -> steady state)."""
+
+from conftest import run_once
+
+from repro.analysis import series_strip
+from repro.analysis.timeseries import execution_timeseries
+
+
+def test_exec_timeseries(benchmark, record_result):
+    result = run_once(benchmark, execution_timeseries,
+                      workload_name="redis", platform="lightpc",
+                      windows=12, refs=16_000)
+    record_result(result)
+    print()
+    print(series_strip([row[3] for row in result.rows],
+                       title="per-window IPC (warmup -> steady)"))
+    assert result.notes["steady_ipc"] > result.notes["warmup_ipc"]

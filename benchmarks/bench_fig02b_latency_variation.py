@@ -1,0 +1,12 @@
+"""Fig. 2b — DIMM-level vs bare-metal PRAM latency variation."""
+
+from conftest import run_once
+
+from repro.analysis import figure2b
+
+
+def test_fig2b_latency_variation(benchmark, record_result):
+    result = run_once(benchmark, figure2b, samples=4_000)
+    record_result(result)
+    assert 1.8 < result.notes["dimm_read_vs_bare"] < 4.5
+    assert result.notes["bare_read_spread"] == 1.0

@@ -1,0 +1,13 @@
+"""Fig. 4 — persistence-control latency & power across PMEM modes."""
+
+from conftest import run_once
+
+from repro.analysis import figure4
+
+
+def test_fig4_persistence_modes(benchmark, record_result):
+    result = run_once(benchmark, figure4, refs=12_000)
+    record_result(result)
+    latency = result.column("latency_vs_dram")
+    assert latency == sorted(latency)
+    assert result.notes["trans_vs_dram_latency"] > 4.0

@@ -1,0 +1,11 @@
+"""Fig. 8 — PSU hold-up windows and SnG Stop decomposition."""
+
+from conftest import run_once
+
+from repro.analysis import figure8
+
+
+def test_fig8_sng_validation(benchmark, record_result):
+    result = run_once(benchmark, figure8)
+    record_result(result)
+    assert result.notes["busy_stop_ms"] < result.notes["atx_spec_ms"]

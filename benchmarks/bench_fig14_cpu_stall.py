@@ -1,0 +1,12 @@
+"""Fig. 14 — memory-stall trend across CPU frequencies."""
+
+from conftest import run_once
+
+from repro.analysis import figure14
+
+
+def test_fig14_cpu_stall(benchmark, record_result):
+    result = run_once(benchmark, figure14, refs=10_000)
+    record_result(result)
+    for key, ratio in result.notes.items():
+        assert ratio > 1.0, f"{key}: stall share should grow with frequency"

@@ -1,0 +1,14 @@
+"""Fig. 15 — in-memory execution latency across the three platforms."""
+
+from conftest import MATRIX_REFS, run_once
+
+from repro.analysis import chart_result, figure15
+
+
+def test_fig15_inmemory_latency(benchmark, record_result):
+    result = run_once(benchmark, figure15, refs=MATRIX_REFS)
+    record_result(result)
+    print()
+    print(chart_result(result, "lightpc_b/lightpc", baseline=1.0))
+    assert 0.9 < result.notes["lightpc_vs_legacy_mean"] < 1.35
+    assert result.notes["baseline_vs_lightpc_mean"] > 2.0

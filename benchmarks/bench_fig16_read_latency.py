@@ -1,0 +1,17 @@
+"""Fig. 16 — LightPC-B memory-level read latency normalized to LightPC."""
+
+from conftest import MATRIX_REFS, run_once
+
+from repro.analysis import chart_result, figure16
+
+
+def test_fig16_read_latency(benchmark, record_result):
+    result = run_once(benchmark, figure16, refs=MATRIX_REFS)
+    record_result(result)
+    print()
+    print(chart_result(result, "ratio", baseline=1.0))
+    assert result.notes["mean_ratio"] > 2.2
+    ratios = {row[0]: row[3] for row in result.rows}
+    # the least-blocked workloads are the ones with the least
+    # read-after-write traffic (the paper's mcf case)
+    assert min(ratios, key=ratios.get) in ("mcf", "dealii", "perlbench")

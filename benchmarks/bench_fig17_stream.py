@@ -1,0 +1,12 @@
+"""Fig. 17 — STREAM sustainable bandwidth."""
+
+from conftest import run_once
+
+from repro.analysis import figure17
+
+
+def test_fig17_stream(benchmark, record_result):
+    result = run_once(benchmark, figure17, elements=24_000)
+    record_result(result)
+    assert 0.5 < result.notes["mean_ratio"] < 1.1
+    assert result.notes["add_triad_vs_copy_scale"] > 0.98

@@ -1,0 +1,12 @@
+"""Fig. 18 — power and energy across the three platforms."""
+
+from conftest import MATRIX_REFS, run_once
+
+from repro.analysis import figure18
+
+
+def test_fig18_power_energy(benchmark, record_result):
+    result = run_once(benchmark, figure18, refs=MATRIX_REFS)
+    record_result(result)
+    assert 0.2 < result.notes["lightpc_power_fraction"] < 0.4
+    assert result.notes["lightpc_energy_saving"] > 0.55

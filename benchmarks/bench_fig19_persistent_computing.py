@@ -1,0 +1,13 @@
+"""Fig. 19 — persistent-computing cycles vs the checkpointing baselines."""
+
+from conftest import MATRIX_REFS, run_once
+
+from repro.analysis import figure19
+
+
+def test_fig19_persistent_computing(benchmark, record_result):
+    result = run_once(benchmark, figure19, refs=MATRIX_REFS)
+    record_result(result)
+    notes = result.notes
+    assert notes["acheckpc_vs_lightpc_mean"] > notes["syspc_vs_lightpc_mean"]
+    assert notes["syspc_vs_lightpc_mean"] > 1.1

@@ -1,0 +1,12 @@
+"""Fig. 20 — flush latency at the power signal vs PSU hold-up windows."""
+
+from conftest import MATRIX_REFS, run_once
+
+from repro.analysis import figure20
+
+
+def test_fig20_flush_latency(benchmark, record_result):
+    result = run_once(benchmark, figure20, refs=MATRIX_REFS)
+    record_result(result)
+    assert result.notes["syspc_vs_atx"] > 25.0
+    assert result.notes["lightpc_vs_atx"] < 0.8

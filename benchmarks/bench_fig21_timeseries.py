@@ -1,0 +1,15 @@
+"""Fig. 21 — power-down/power-up timeline: IPC, power, energy per phase."""
+
+from conftest import MATRIX_REFS, run_once
+
+from repro.analysis import figure21
+
+
+def test_fig21_timeseries(benchmark, record_result):
+    result = run_once(benchmark, figure21, refs=MATRIX_REFS)
+    record_result(result)
+    # SysPC's recovery is orders of magnitude slower than LightPC's Go.
+    assert result.notes["syspc_go_vs_lightpc_go"] > 30.0
+    # LightPC's flush energy is millijoule-scale; SysPC's is joules.
+    assert result.notes["lightpc_flush_energy_j"] < 0.2
+    assert result.notes["syspc_flush_energy_j"] > 5.0

@@ -1,0 +1,19 @@
+"""Fig. 22 — SnG worst-case scalability (cores x cache vs hold-up)."""
+
+from conftest import run_once
+
+from repro.analysis import bar_chart, figure22
+
+
+def test_fig22_scalability(benchmark, record_result):
+    result = run_once(benchmark, figure22)
+    record_result(result)
+    at_16kb = [(row[0], row[2]) for row in result.rows if row[1] == 16]
+    print()
+    print(bar_chart([str(c) for c, _ in at_16kb],
+                    [ms for _, ms in at_16kb],
+                    unit=" ms", baseline=16.0,
+                    title="fig22: Stop vs cores (16 KB cache; | = ATX 16 ms)"))
+    assert result.notes["cores32_16kb_fits_atx"] == 1.0
+    assert result.notes["cores64_40mb_fits_server"] == 1.0
+    assert result.notes["cores64_16kb_fits_atx"] == 0.0

@@ -1,0 +1,14 @@
+"""Fig. 13's parallelism claim as a memory-level microbenchmark."""
+
+from conftest import run_once
+
+from repro.analysis.microbench import parallelism_microbench
+
+
+def test_parallelism_microbench(benchmark, record_result):
+    result = run_once(benchmark, parallelism_microbench)
+    record_result(result)
+    # dual-channel sustains clearly more than the DRAM-like strawman,
+    # for sequential (intra-DIMM interleave) and random access alike
+    assert result.notes["dual_vs_dramlike_sequential"] > 1.5
+    assert result.notes["dual_vs_dramlike_random"] > 1.2

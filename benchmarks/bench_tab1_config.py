@@ -1,0 +1,11 @@
+"""Table I — platform configuration echo."""
+
+from conftest import run_once
+
+from repro.analysis import table1
+
+
+def test_table1_configuration(benchmark, record_result):
+    result = run_once(benchmark, table1)
+    record_result(result)
+    assert result.row_by("cores")["cores"][1] == 8

@@ -1,0 +1,14 @@
+"""Table II — benchmark characterization, measured back from the traces."""
+
+from conftest import MATRIX_REFS, run_once
+
+from repro.analysis import table2
+
+
+def test_table2_characterization(benchmark, record_result):
+    result = run_once(benchmark, table2, refs=MATRIX_REFS)
+    record_result(result)
+    assert len(result.rows) == 17
+    for row in result.rows:
+        measured_read_hit, paper_read_hit = row[6], row[7]
+        assert abs(measured_read_hit - paper_read_hit) < 18.0, row[0]

@@ -1,0 +1,46 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper table/figure: it runs the driver
+once under pytest-benchmark, prints the reproduced table (run with
+``-s`` to see it), and writes it to ``benchmarks/results/<id>.md`` so
+EXPERIMENTS.md can embed the exact output.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ExperimentResult, render_result
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Reference count used by the workload-matrix benchmarks.  Raise for
+#: higher fidelity (the shapes are stable from ~10k refs up).
+MATRIX_REFS = 16_000
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def record_result(results_dir):
+    """Print + persist one reproduced table."""
+
+    def _record(result: ExperimentResult) -> ExperimentResult:
+        text = render_result(result)
+        print()
+        print(text)
+        (results_dir / f"{result.experiment}.md").write_text(text + "\n")
+        return result
+
+    return _record
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run a driver exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

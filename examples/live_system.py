@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""A live system: computation interrupted by power loss, resumed exactly.
+
+The other examples measure; this one *watches the OS work*.  A batch of
+jobs — some that nap between bursts, some that grind straight through —
+runs under a time-sliced scheduler.  Mid-run the power dies: Stop-and-Go
+fake-signals the sleepers awake, parks everything as uninterruptible,
+suspends the devices, and draws the EP-cut.  When power returns, Go
+releases the tasks and the scheduler simply keeps going.  The final
+audit shows no unit of work was lost or repeated.
+
+Run:  python examples/live_system.py
+"""
+
+from repro.pecos import Kernel, KernelConfig, SnG, TaskState
+from repro.pecos.schedsim import LiveWorld
+
+
+def progress_bar(done: int, total: int, width: int = 26) -> str:
+    filled = int(width * done / total) if total else 0
+    return "[" + "#" * filled + "." * (width - filled) + f"] {done}/{total}"
+
+
+def show(world: LiveWorld, label: str) -> None:
+    print(f"\n{label} (t = {world.clock.now_ns / 1e3:.0f} us)")
+    for live in world.live.values():
+        state = live.task.state.name.lower()
+        print(f"  {live.task.name:<10} {progress_bar(live.done_work, live.total_work)}"
+              f"  {state}")
+
+
+def main() -> None:
+    kernel = Kernel(KernelConfig(cores=4, user_processes=0,
+                                 kernel_threads=0, sleeping_fraction=0.0))
+    kernel.populate()
+    world = LiveWorld(kernel)
+    world.spawn("grinder-a", work=4_000)
+    world.spawn("grinder-b", work=3_000)
+    world.spawn("napper-a", work=2_500, sleep_every=600, sleep_ns=30_000.0)
+    world.spawn("napper-b", work=2_000, sleep_every=400, sleep_ns=50_000.0)
+
+    world.run_for(600_000.0)
+    show(world, "mid-run, just before the power event")
+    progress_at_cut = world.snapshot_progress()
+
+    print("\n*** AC lost — Stop-and-Go ***")
+    sng = SnG(kernel, flush_port=lambda t: t + 2_000.0,
+              dirty_lines_fn=lambda: [128] * kernel.config.cores)
+    stop = sng.stop()
+    print(f"Stop finished in {stop.total_ms:.2f} ms: "
+          f"{stop.tasks_stopped} tasks parked "
+          f"({len(sng.signals.delivered)} fake signals delivered), "
+          f"{stop.drivers_suspended} drivers suspended")
+    assert world.snapshot_progress() == progress_at_cut
+    assert all(lt.task.state is TaskState.UNINTERRUPTIBLE
+               for lt in world.live.values())
+    show(world, "the EP-cut (everything uninterruptible, progress frozen)")
+
+    print("\n*** power returns — Go ***")
+    go = sng.go()
+    print(f"Go finished in {go.total_ms:.2f} ms (warm = {go.warm})")
+    world.resume_after_go()
+    world.run_to_completion(max_ns=1e10)
+    show(world, "after resumption")
+
+    total = world.total_done()
+    expected = world.total_work()
+    print(f"\naudit: {total} work units done, {expected} expected -> "
+          f"{'EXACT' if total == expected else 'MISMATCH'}")
+    print("nothing lost to the outage, nothing executed twice.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Wear-leveling endurance under hostile write patterns (§V-A, §VIII).
+
+PRAM cells endure 10^6–10^9 writes — orders of magnitude below DRAM —
+so OC-PMEM ships Start-Gap wear leveling with a static randomizer.  The
+paper's §VIII admits a weakness: an adversary hammering one address
+advances the hot cell only one physical slot per gap cycle, and proposes
+rotating the randomizer seed as future work.
+
+This example stresses both designs with three patterns and reports the
+wear imbalance (max / mean physical writes — 1.0 is perfect leveling)
+plus the projected lifetime fraction relative to ideal.
+
+Run:  python examples/wear_endurance.py
+"""
+
+import random
+
+from repro.ocpmem import StartGap
+
+LINES = 512
+WRITES = LINES * 20
+GAP_THRESHOLD = 10  # aggressive leveling so several gap cycles complete
+
+
+def pattern_uniform(rng):
+    while True:
+        yield rng.randrange(LINES)
+
+
+def pattern_zipf_hot(rng):
+    """80% of writes to 5% of lines."""
+    hot = LINES // 20
+    while True:
+        yield rng.randrange(hot) if rng.random() < 0.8 else rng.randrange(LINES)
+
+
+def pattern_single_address(_rng):
+    while True:
+        yield 7
+
+
+PATTERNS = {
+    "uniform": pattern_uniform,
+    "zipf-hot": pattern_zipf_hot,
+    "single-address (adversarial)": pattern_single_address,
+}
+
+
+def stress(leveler: StartGap, pattern) -> float:
+    overhead = 0.0
+    for _, line in zip(range(WRITES), pattern):
+        overhead += leveler.record_write(line)
+    return overhead
+
+
+def main() -> None:
+    print(f"{LINES} lines, {WRITES:,} writes per pattern; "
+          f"gap moves every {GAP_THRESHOLD} writes\n")
+    print(f"{'pattern':<30}{'design':<22}{'imbalance':>10}"
+          f"{'lifetime %':>12}{'overhead us':>13}")
+    for pattern_name, factory in PATTERNS.items():
+        for design, kwargs in (
+            ("start-gap", {}),
+            ("start-gap + rotation", {"rotate_seed_every": 1}),
+        ):
+            leveler = StartGap(lines=LINES, threshold=GAP_THRESHOLD,
+                               track_wear=True, randomize_unit=1, **kwargs)
+            overhead = stress(leveler, factory(random.Random(9)))
+            imbalance = leveler.wear_imbalance()
+            lifetime = 100.0 / imbalance if imbalance else 100.0
+            print(f"{pattern_name:<30}{design:<22}{imbalance:>10.1f}"
+                  f"{lifetime:>11.1f}%{overhead / 1e3:>12.1f}")
+    print("\n(imbalance = hottest physical line's writes / mean; the device "
+          "dies when the hottest cell does, so projected lifetime is its "
+          "inverse.  Rotation pays a bulk-migration overhead per gap cycle "
+          "but defuses the single-address attack — the §VIII future work.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""LightPC reproduction: simulated OC-PMEM hardware + persistence-centric OS.
+
+Reproduces *LightPC: Hardware and Software Co-Design for Energy-Efficient
+Full System Persistence* (ISCA 2022) as a pure-Python simulation platform.
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured index.
+
+Top-level convenience imports cover the primary public API; subsystem
+detail lives in the subpackages (``repro.ocpmem``, ``repro.pecos``,
+``repro.pmem``, ``repro.workloads``, ...).
+"""
+
+__version__ = "1.0.0"

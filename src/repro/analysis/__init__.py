@@ -1,0 +1,84 @@
+"""Experiment drivers (one per paper table/figure), extension studies
+(sensitivity, endurance, consolidation, crash fuzzing), and rendering."""
+
+from repro.analysis.charts import bar_chart, chart_result, series_strip
+from repro.analysis.consolidation import consolidation_study
+from repro.analysis.crashfuzz import (
+    FuzzReport,
+    fuzz_machine,
+    fuzz_pool,
+    fuzz_psm,
+    fuzz_sector,
+)
+from repro.analysis.endurance import endurance_projection
+from repro.analysis.export import result_from_json, to_csv, to_json, write_results
+from repro.analysis.compare import compare_files, compare_results
+from repro.analysis.microbench import parallelism_microbench
+from repro.analysis.sensitivity import read_latency_sweep, write_pulse_sweep
+from repro.analysis.timeseries import execution_timeseries
+
+from repro.analysis.experiments import (
+    ExperimentResult,
+    execution_profiles,
+    figure2b,
+    figure4,
+    figure8,
+    figure14,
+    figure15,
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    figure20,
+    figure21,
+    figure22,
+    full_run_scale,
+    platform_matrix,
+    table1,
+    table2,
+)
+from repro.analysis.report import render_notes, render_result, render_results
+
+__all__ = [
+    "ExperimentResult",
+    "FuzzReport",
+    "bar_chart",
+    "chart_result",
+    "compare_files",
+    "compare_results",
+    "execution_timeseries",
+    "parallelism_microbench",
+    "series_strip",
+    "consolidation_study",
+    "endurance_projection",
+    "fuzz_machine",
+    "fuzz_pool",
+    "fuzz_psm",
+    "fuzz_sector",
+    "read_latency_sweep",
+    "result_from_json",
+    "to_csv",
+    "to_json",
+    "write_pulse_sweep",
+    "write_results",
+    "figure2b",
+    "figure4",
+    "figure8",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure18",
+    "figure19",
+    "figure20",
+    "figure21",
+    "figure22",
+    "execution_profiles",
+    "full_run_scale",
+    "platform_matrix",
+    "render_notes",
+    "render_result",
+    "render_results",
+    "table1",
+    "table2",
+]

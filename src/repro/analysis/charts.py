@@ -1,0 +1,93 @@
+"""ASCII charts: render experiment series the way the paper's figures read.
+
+The markdown tables carry the data; these bar/series renderers make a
+terminal run of the benchmarks *look* like the evaluation — normalized
+bars per workload (Figs. 15/16/18-style), grouped bars per category, and
+a tiny time-series strip for Fig. 21.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import ExperimentResult
+
+__all__ = ["bar_chart", "chart_result", "series_strip"]
+
+_BAR = "█"
+_HALF = "▌"
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    baseline: Optional[float] = None,
+    title: str = "",
+) -> str:
+    """Horizontal bar chart; optional baseline drawn as a marker column."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    if not values:
+        return title
+    peak = max(max(values), baseline or 0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(l)) for l in labels)
+    lines = [title] if title else []
+    marker = None
+    if baseline is not None:
+        marker = max(1, round(baseline / peak * width))
+    for label, value in zip(labels, values):
+        filled = value / peak * width
+        whole = int(filled)
+        bar = _BAR * whole + (_HALF if filled - whole >= 0.5 else "")
+        if marker is not None:
+            padded = list(bar.ljust(width))
+            if padded[marker - 1] == " ":
+                padded[marker - 1] = "|"
+            bar = "".join(padded).rstrip()
+        lines.append(
+            f"{str(label):>{label_width}} {bar} {value:g}{unit}"
+        )
+    if baseline is not None:
+        lines.append(f"{'':>{label_width}} (| marks {baseline:g}{unit})")
+    return "\n".join(lines)
+
+
+def series_strip(
+    values: Sequence[float],
+    height: int = 5,
+    title: str = "",
+) -> str:
+    """A tiny vertical-resolution strip chart for time series."""
+    if not values:
+        return title
+    peak = max(values) or 1.0
+    rows = []
+    for level in range(height, 0, -1):
+        threshold = peak * (level - 0.5) / height
+        rows.append("".join(
+            _BAR if value >= threshold else " " for value in values))
+    out = [title] if title else []
+    out.extend(f"|{row}|" for row in rows)
+    out.append("+" + "-" * len(values) + f"+ peak={peak:g}")
+    return "\n".join(out)
+
+
+def chart_result(
+    result: ExperimentResult,
+    value_column: str,
+    label_column: Optional[str] = None,
+    baseline: Optional[float] = None,
+    width: int = 40,
+) -> str:
+    """Bar-chart one column of an experiment result."""
+    labels = result.column(label_column or result.columns[0])
+    values = [float(v) for v in result.column(value_column)]
+    return bar_chart(
+        [str(l) for l in labels], values, width=width,
+        baseline=baseline,
+        title=f"{result.experiment}: {value_column}",
+    )

@@ -1,0 +1,119 @@
+"""Compare experiment results across runs (regression harness).
+
+A reproduction repository changes constantly; this tool answers "did any
+figure move?" by diffing two :class:`ExperimentResult` objects (or their
+exported JSON files) cell by cell with relative tolerances, keyed by each
+row's first column so row reordering is not a diff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Union
+
+from repro.analysis.experiments import ExperimentResult
+from repro.analysis.export import result_from_json
+
+__all__ = ["Comparison", "Difference", "compare_files", "compare_results"]
+
+
+@dataclass(frozen=True)
+class Difference:
+    """One divergent cell or note."""
+
+    where: str
+    baseline: object
+    candidate: object
+
+    def __str__(self) -> str:
+        return f"{self.where}: {self.baseline!r} -> {self.candidate!r}"
+
+
+@dataclass
+class Comparison:
+    """Outcome of a result-to-result comparison."""
+
+    experiment: str
+    differences: list[Difference] = field(default_factory=list)
+
+    @property
+    def identical(self) -> bool:
+        return not self.differences
+
+    def summary(self) -> str:
+        if self.identical:
+            return f"{self.experiment}: identical"
+        return (f"{self.experiment}: {len(self.differences)} differences; "
+                f"first: {self.differences[0]}")
+
+
+def _cells_match(a: object, b: object, rel_tol: float) -> bool:
+    if isinstance(a, bool) or isinstance(b, bool):
+        return a == b
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        scale = max(abs(float(a)), abs(float(b)), 1e-12)
+        return abs(float(a) - float(b)) / scale <= rel_tol
+    return a == b
+
+
+def compare_results(
+    baseline: ExperimentResult,
+    candidate: ExperimentResult,
+    rel_tol: float = 0.02,
+) -> Comparison:
+    """Diff two results; numeric cells compare within ``rel_tol``."""
+    comparison = Comparison(experiment=baseline.experiment)
+    diffs = comparison.differences
+    if baseline.experiment != candidate.experiment:
+        diffs.append(Difference("experiment", baseline.experiment,
+                                candidate.experiment))
+        return comparison
+    if baseline.columns != candidate.columns:
+        diffs.append(Difference("columns", baseline.columns,
+                                candidate.columns))
+        return comparison
+
+    def _keys(rows: list[list], depth: int) -> dict[str, list]:
+        return {"/".join(str(v) for v in row[:depth]): row for row in rows}
+
+    # key rows by their first column; widen only if that is ambiguous
+    # (e.g. Fig. 22's cores x cache grid)
+    depth = 1
+    while depth < len(baseline.columns):
+        if (len(_keys(baseline.rows, depth)) == len(baseline.rows)
+                and len(_keys(candidate.rows, depth)) == len(candidate.rows)):
+            break
+        depth += 1
+    base_rows = _keys(baseline.rows, depth)
+    cand_rows = _keys(candidate.rows, depth)
+    for key in base_rows.keys() - cand_rows.keys():
+        diffs.append(Difference(f"row[{key}]", "present", "missing"))
+    for key in cand_rows.keys() - base_rows.keys():
+        diffs.append(Difference(f"row[{key}]", "missing", "present"))
+    for key in base_rows.keys() & cand_rows.keys():
+        for column, a, b in zip(baseline.columns, base_rows[key],
+                                cand_rows[key]):
+            if not _cells_match(a, b, rel_tol):
+                diffs.append(Difference(f"row[{key}].{column}", a, b))
+    for note in baseline.notes.keys() | candidate.notes.keys():
+        a = baseline.notes.get(note)
+        b = candidate.notes.get(note)
+        if a is None or b is None or not _cells_match(a, b, rel_tol):
+            if a != b:
+                diffs.append(Difference(f"note[{note}]", a, b))
+    diffs.sort(key=lambda d: d.where)
+    return comparison
+
+
+def compare_files(
+    baseline: Union[str, Path],
+    candidate: Union[str, Path],
+    rel_tol: float = 0.02,
+) -> Comparison:
+    """Diff two exported JSON result files."""
+    return compare_results(
+        result_from_json(Path(baseline).read_text()),
+        result_from_json(Path(candidate).read_text()),
+        rel_tol=rel_tol,
+    )

@@ -1,0 +1,101 @@
+"""Endurance projection: OC-PMEM lifetime under the evaluation workloads.
+
+§VIII argues PRAM's 10^6–10^9 write endurance is workable as working
+memory because (i) loads dominate stores, (ii) the caches and the PSM's
+row buffers absorb most stores before they reach media, and (iii) a
+wear-leveler spreads what remains.  This experiment quantifies the whole
+argument from *measured* counters:
+
+* run each workload on LightPC and read back the media-level line writes
+  the PSM actually issued (post-cache, post-row-buffer) — the *filter
+  ratio* is CPU references per media write;
+* project the leveled lifetime: Start-Gap achieves ~97% of ideal
+  leveling ([53]), so the hottest line's long-run rate is the mean line
+  rate over the provisioned capacity (the paper's 2x-DRAM, ~4 TB class)
+  divided by 0.97;
+* contrast with the *unleveled* hot-line lifetime, using the sample's
+  hottest-line share of writes — which is why shipping without a
+  wear-leveler is not an option.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import ExperimentResult
+from repro.core.machine import Machine
+from repro.workloads.suites import load_workload
+
+__all__ = ["ENDURANCE_CORNERS", "endurance_projection"]
+
+_SECONDS_PER_YEAR = 365.25 * 24 * 3600
+#: endurance corners (set/reset cycles) from §VIII
+ENDURANCE_CORNERS = (1e6, 1e8, 1e9)
+#: Start-Gap reaches ~97% of the ideal-leveling lifetime ([53])
+_LEVELING_EFFICIENCY = 0.97
+
+
+def endurance_projection(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 12_000,
+    capacity_tb: float = 4.0,
+) -> ExperimentResult:
+    names = list(workloads) if workloads is not None else \
+        ["aes", "mcf", "snap", "astar", "redis", "wrf"]
+    device_lines = capacity_tb * 1e12 / 64
+    rows = []
+    worst_leveled = float("inf")
+    worst_unleveled = float("inf")
+    for name in names:
+        workload = load_workload(name, refs=refs)
+        machine = Machine.for_workload("lightpc", workload)
+        machine.backend.wear.track_wear = True
+        result = machine.run(workload)
+
+        media_writes = machine.backend.media_line_writes
+        wall_s = max(result.wall_ns * 1e-9, 1e-12)
+        writes_per_s = media_writes / wall_s
+        cpu_refs = sum(
+            s.reads + s.writes for s in result.complex_result.per_core)
+        filter_ratio = cpu_refs / max(media_writes, 1)
+
+        # leveled: every line ages at the mean rate / leveling efficiency
+        leveled_line_rate = (
+            writes_per_s / device_lines / _LEVELING_EFFICIENCY)
+        leveled_years = {
+            corner: corner / max(leveled_line_rate, 1e-30) / _SECONDS_PER_YEAR
+            for corner in ENDURANCE_CORNERS
+        }
+        # unleveled: the sample's hottest line keeps its share forever
+        hot_writes = max(
+            machine.backend.wear.physical_writes.values(), default=1)
+        hot_share = hot_writes / max(media_writes, 1)
+        hot_rate = writes_per_s * hot_share
+        unleveled_days = (
+            ENDURANCE_CORNERS[0] / max(hot_rate, 1e-30) / 86_400)
+
+        worst_leveled = min(worst_leveled, leveled_years[1e6])
+        worst_unleveled = min(worst_unleveled, unleveled_days)
+        rows.append([
+            name,
+            media_writes,
+            round(filter_ratio, 1),
+            round(writes_per_s / 1e6, 3),
+            round(min(leveled_years[1e6], 9e9), 0),
+            round(min(leveled_years[1e8], 9e9), 0),
+            round(unleveled_days, 2),
+        ])
+    return ExperimentResult(
+        experiment="endurance",
+        title=(f"OC-PMEM lifetime projection ({capacity_tb:.0f} TB class, "
+               "measured media writes)"),
+        columns=["workload", "media_writes", "cpu_refs_per_media_write",
+                 "media_Mwrites_per_s", "leveled_years_at_1e6",
+                 "leveled_years_at_1e8", "unleveled_hot_line_days_at_1e6"],
+        rows=rows,
+        notes={
+            "worst_leveled_years_at_1e6": worst_leveled,
+            "worst_unleveled_days_at_1e6": worst_unleveled,
+            "min_filter_ratio": min(row[2] for row in rows),
+        },
+    )

@@ -1,0 +1,936 @@
+"""Experiment drivers: one function per paper table/figure.
+
+Every driver returns an :class:`ExperimentResult` — a titled table of
+rows plus headline scalars — that the benchmarks print and the shape
+tests assert against.  Drivers take a ``refs`` knob so benchmarks can
+trade fidelity for runtime; the defaults favour speed and are the
+configurations EXPERIMENTS.md records.
+
+Traces are scaled-down samples of the paper's runs; experiments that
+compare against wall-clock mechanisms (Figs. 19-21) extrapolate a sample
+to full-run magnitude with :func:`full_run_scale`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Optional, Sequence
+
+from repro.core.config import ClockDomain, PlatformConfig, TABLE1
+from repro.core.machine import Machine
+from repro.core.results import RunResult
+from repro.cpu.complex import MultiCoreComplex
+from repro.cpu.core import CoreConfig
+from repro.memory.device import PRAMDevice
+from repro.memory.dram import DRAMConfig, DRAMSubsystem
+from repro.memory.request import MemoryOp, MemoryRequest
+from repro.pecos.kernel import Kernel, KernelConfig
+from repro.pecos.sng import SnG
+from repro.persistence import (
+    ACheckPC,
+    ExecutionProfile,
+    LightPCSnG,
+    SCheckPC,
+    SysPC,
+)
+from repro.pmem.dimm import PMEMDIMM
+from repro.pmem.modes import MODE_NAMES, build_mode
+from repro.power.model import PowerModel
+from repro.power.psu import ATX_PSU, SERVER_PSU
+from repro.sim.stats import LatencyStats, geometric_mean
+from repro.workloads.registry import WORKLOAD_SPECS
+from repro.workloads.stream import STREAM_KERNELS, stream_kernel
+from repro.workloads.suites import Workload, load_workload
+
+__all__ = [
+    "ExperimentResult",
+    "figure2b",
+    "figure4",
+    "figure8",
+    "figure14",
+    "figure15",
+    "figure16",
+    "figure17",
+    "figure18",
+    "figure19",
+    "figure20",
+    "figure21",
+    "figure22",
+    "execution_profiles",
+    "full_run_scale",
+    "platform_matrix",
+    "table1",
+    "table2",
+]
+
+#: Workloads used when a driver is asked for a fast subset.
+FAST_SUBSET = ("aes", "snap", "mcf", "astar", "wrf", "redis", "sqlite")
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure."""
+
+    experiment: str
+    title: str
+    columns: list[str]
+    rows: list[list]
+    notes: dict[str, float] = field(default_factory=dict)
+
+    def column(self, name: str) -> list:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key: str) -> dict[str, list]:
+        """Index rows by their first column."""
+        return {row[0]: row for row in self.rows}
+
+
+def _workload_list(
+    workloads: Optional[Sequence[str]], refs: int
+) -> list[Workload]:
+    names = list(workloads) if workloads is not None else list(WORKLOAD_SPECS)
+    return [load_workload(name, refs=refs) for name in names]
+
+
+def full_run_scale(workload: Workload, refs: Optional[int] = None) -> float:
+    """Sample -> full-run extrapolation factor (paper-counted references)."""
+    sample = refs if refs is not None else workload.refs
+    paper_refs = workload.spec.paper_reads + workload.spec.paper_writes
+    return max(1.0, paper_refs / sample)
+
+
+# ---------------------------------------------------------------------------
+# shared platform-matrix runner (Figs. 15, 16, 18 share these runs)
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=8)
+def _matrix_cached(
+    names: tuple[str, ...], refs: int, seed: int
+) -> dict[tuple[str, str], RunResult]:
+    out: dict[tuple[str, str], RunResult] = {}
+    for name in names:
+        workload = load_workload(name, refs=refs, seed=seed)
+        for platform in ("legacy", "lightpc_b", "lightpc"):
+            machine = Machine.for_workload(platform, workload)
+            out[(name, platform)] = machine.run(workload)
+    return out
+
+
+def platform_matrix(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 24_000,
+    seed: int = 42,
+) -> dict[tuple[str, str], RunResult]:
+    """Run every workload on all three platforms (cached per argument set)."""
+    names = tuple(workloads) if workloads is not None else tuple(WORKLOAD_SPECS)
+    return _matrix_cached(names, refs, seed)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2b — latency variation: PMEM DIMM vs bare PRAM vs DRAM
+# ---------------------------------------------------------------------------
+
+
+def figure2b(samples: int = 4_000, seed: int = 11) -> ExperimentResult:
+    """Random-access read/write latency distributions at the media level."""
+    rng = random.Random(seed)
+    span = 1 << 22
+    hot_span = 1 << 18
+
+    dimm = PMEMDIMM(capacity=span)
+    pram = PRAMDevice(capacity=span)
+    dram = DRAMSubsystem(DRAMConfig(capacity=span))
+
+    stats = {
+        ("pmem_dimm", "read"): LatencyStats(), ("pmem_dimm", "write"): LatencyStats(),
+        ("bare_pram", "read"): LatencyStats(), ("bare_pram", "write"): LatencyStats(),
+        ("dram", "read"): LatencyStats(), ("dram", "write"): LatencyStats(),
+    }
+    # This is a *latency* experiment (the paper measures per-access
+    # distributions, not sustained throughput): each sample is issued
+    # once the media under test has quiesced, so the numbers isolate the
+    # datapath, not queueing.
+    t = 0.0
+    for i in range(samples):
+        # mostly-random accesses with a modest hot region, so the DIMM's
+        # multi-level lookup path (forwarding / SRAM / internal DRAM /
+        # media) is exercised across all its levels — the source of the
+        # latency variation the paper measures.
+        if rng.random() < 0.35:
+            address = rng.randrange(0, hot_span, 64)
+        else:
+            address = rng.randrange(0, span - 64, 64)
+        is_write = i % 4 == 0
+        op = MemoryOp.WRITE if is_write else MemoryOp.READ
+        kind = "write" if is_write else "read"
+
+        t_dimm = max(t, max(die.busy_until for die in dimm.dies))
+        response = dimm.access(MemoryRequest(op, address=address, time=t_dimm))
+        stats[("pmem_dimm", kind)].record(response.latency)
+
+        local = address % (pram.capacity - 32)
+        # quiesce past the pulse *and* the target row's cooling window so
+        # the bare-metal numbers isolate the access itself
+        t_pram = max(t, pram.busy_until, pram.cooling_until(local))
+        if is_write:
+            complete, _ = pram.write(t_pram, local, size=32)
+        else:
+            complete, _ = pram.read(t_pram, local, 32)
+        stats[("bare_pram", kind)].record(complete - t_pram)
+
+        t_dram = max(t, dram.drain(t))
+        response = dram.access(MemoryRequest(op, address=address, time=t_dram))
+        stats[("dram", kind)].record(response.latency)
+        t = max(t_dimm, t_pram, t_dram) + 220.0
+
+    rows = []
+    for (device, kind), stat in stats.items():
+        rows.append([
+            device, kind, round(stat.mean, 1), round(stat.min, 1),
+            round(stat.max, 1), round(stat.spread(), 2),
+        ])
+    dimm_read = stats[("pmem_dimm", "read")].mean
+    pram_read = stats[("bare_pram", "read")].mean
+    dram_read = stats[("dram", "read")].mean
+    notes = {
+        "dimm_read_vs_bare": dimm_read / pram_read,
+        "bare_read_vs_dram": pram_read / dram_read,
+        "bare_write_vs_dimm_write": (
+            stats[("bare_pram", "write")].mean / stats[("pmem_dimm", "write")].mean
+        ),
+        "dimm_read_spread": stats[("pmem_dimm", "read")].spread(),
+        "bare_read_spread": stats[("bare_pram", "read")].spread(),
+    }
+    return ExperimentResult(
+        experiment="fig2b",
+        title="Latency variation: PMEM DIMM vs bare PRAM vs DRAM (random access)",
+        columns=["device", "op", "mean_ns", "min_ns", "max_ns", "max/min"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 4 — persistence-control latency & power across PMEM modes
+# ---------------------------------------------------------------------------
+
+
+def figure4(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 8_000,
+) -> ExperimentResult:
+    """DRAM-only vs mem/app/object/trans-mode latency and memory power."""
+    names = list(workloads) if workloads is not None else list(FAST_SUBSET)
+    model = PowerModel()
+    per_mode_latency: dict[str, list[float]] = {m: [] for m in MODE_NAMES}
+    per_mode_power: dict[str, list[float]] = {m: [] for m in MODE_NAMES}
+
+    for name in names:
+        workload = load_workload(name, refs=refs)
+        footprint = workload.spec.profile.working_set_lines * 64
+        for mode_name in MODE_NAMES:
+            mode = build_mode(
+                mode_name,
+                dram_capacity=max(1 << 26, footprint * 4),
+                pmem_capacity=max(1 << 27, footprint * 8),
+            )
+            # Warm the backend-side caches (NMEM tags, DIMM internals)
+            # with a throwaway pass, like the paper's steady-state runs.
+            warm = MultiCoreComplex(
+                mode.backend, cores=8, overhead=mode.overhead
+            ).run_traces(workload.traces())
+            cx = MultiCoreComplex(
+                mode.backend, cores=8, overhead=mode.overhead
+            )
+            # The measured pass starts after the backend has quiesced so
+            # leftover media occupancy does not pollute the timing.
+            result = cx.run_traces(
+                workload.traces(),
+                start_ns=mode.backend.drain(warm.wall_ns) + 1_000.0,
+            )
+            per_access_ns = result.wall_ns / max(1, workload.total_refs())
+            per_mode_latency[mode_name].append(per_access_ns)
+
+            parts = []
+            duration = max(result.wall_ns, 1.0)
+            if mode.dram is not None:
+                counters = mode.dram.counters()
+                parts.append(("dram_dimm", 4.0, {
+                    k: v / 4.0 for k, v in counters.items()
+                }))
+                parts.append(("dram_complex", 1.0, None))
+            if mode.pmem is not None:
+                n = len(mode.pmem.dimms)
+                merged: dict[str, float] = {}
+                for dimm in mode.pmem.dimms:
+                    for key, value in dimm.counters().items():
+                        merged[key] = merged.get(key, 0.0) + value
+                parts.append(("pmem_dimm", float(n), {
+                    k: v / n for k, v in merged.items()
+                }))
+            if mode_name == "mem_mode":
+                parts.append(("nmem_ctrl", 1.0, None))
+            per_mode_power[mode_name].append(
+                model.report(duration, parts).total_w
+            )
+
+    base_latency = geometric_mean(per_mode_latency["dram_only"])
+    base_power = geometric_mean(per_mode_power["dram_only"])
+    rows = []
+    for mode_name in MODE_NAMES:
+        latency = geometric_mean(per_mode_latency[mode_name])
+        power = geometric_mean(per_mode_power[mode_name])
+        rows.append([
+            mode_name,
+            round(latency, 2),
+            round(latency / base_latency, 2),
+            round(power, 2),
+            round(power / base_power, 2),
+        ])
+    by = {row[0]: row for row in rows}
+    notes = {
+        "mem_vs_dram_latency": by["mem_mode"][2],
+        "app_vs_mem_latency": by["app_mode"][1] / by["mem_mode"][1],
+        "object_vs_dram_latency": by["object_mode"][2],
+        "trans_vs_dram_latency": by["trans_mode"][2],
+        "trans_vs_dram_power": by["trans_mode"][4],
+    }
+    return ExperimentResult(
+        experiment="fig4",
+        title="Persistence control: latency & memory power across PMEM modes",
+        columns=["mode", "ns_per_access", "latency_vs_dram",
+                 "memory_power_w", "power_vs_dram"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 — PSU hold-up validation + SnG latency decomposition
+# ---------------------------------------------------------------------------
+
+
+def figure8() -> ExperimentResult:
+    """Hold-up windows (8a) and SnG Stop decomposition (8b), busy & idle."""
+    rows = []
+    loads = {"busy": 18.9, "idle": 7.6}
+    for psu in (ATX_PSU, SERVER_PSU):
+        for condition, load in loads.items():
+            rows.append([
+                f"holdup/{psu.name}/{condition}", round(psu.holdup_ms(load), 1),
+                "", "", "",
+            ])
+
+    stops = {}
+    for condition, kcfg in {
+        "busy": KernelConfig(),
+        "idle": KernelConfig(user_processes=18, kernel_threads=22,
+                             sleeping_fraction=0.85),
+    }.items():
+        kernel = Kernel(kcfg)
+        kernel.populate()
+        dirty = 256 if condition == "busy" else 64
+        sng = SnG(
+            kernel,
+            flush_port=lambda t: t + 2_000.0,
+            dirty_lines_fn=lambda d=dirty: [d] * 8,
+        )
+        report = sng.stop()
+        stops[condition] = report
+        fractions = report.fractions()
+        rows.append([
+            f"sng/{condition}",
+            round(report.total_ms, 2),
+            round(fractions["process_stop"], 3),
+            round(fractions["device_stop"], 3),
+            round(fractions["offline"], 3),
+        ])
+    notes = {
+        "busy_stop_ms": stops["busy"].total_ms,
+        "idle_stop_ms": stops["idle"].total_ms,
+        "atx_spec_ms": ATX_PSU.spec_holdup_ms,
+        "busy_margin_vs_spec": 1 - stops["busy"].total_ms / ATX_PSU.spec_holdup_ms,
+    }
+    return ExperimentResult(
+        experiment="fig8",
+        title="PSU hold-up times and SnG Stop decomposition",
+        columns=["case", "ms", "process_frac", "device_frac", "offline_frac"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — memory-stall trend vs CPU frequency
+# ---------------------------------------------------------------------------
+
+
+def figure14(
+    workloads: Sequence[str] = ("redis", "memcached"),
+    refs: int = 12_000,
+    frequencies: Sequence[float] = (0.8, 1.0, 1.2, 1.4, 1.6, 1.8),
+) -> ExperimentResult:
+    """Memory-stall fraction as core frequency scales (DRAM fixed)."""
+    rows = []
+    trend: dict[str, list[float]] = {}
+    for name in workloads:
+        workload = load_workload(name, refs=refs)
+        fractions = []
+        for freq in frequencies:
+            config = PlatformConfig(core=CoreConfig(frequency_ghz=freq))
+            machine = Machine.for_workload("legacy", workload, config)
+            result = machine.run(workload)
+            stall = result.complex_result.memory_stall_fraction
+            fractions.append(stall)
+            rows.append([name, freq, round(stall, 4)])
+        trend[name] = fractions
+    notes = {
+        f"{name}_stall_ratio_1.8_vs_0.8": trend[name][-1] / max(trend[name][0], 1e-9)
+        for name in trend
+    }
+    return ExperimentResult(
+        experiment="fig14",
+        title="CPU stall analysis across core frequencies",
+        columns=["workload", "freq_ghz", "memory_stall_fraction"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table II — benchmark characterization, measured back from the traces
+# ---------------------------------------------------------------------------
+
+
+def table2(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 24_000,
+) -> ExperimentResult:
+    """Measured workload characteristics vs the paper's Table II targets.
+
+    Characterization is trace-level and steady-state (warm-cache replay),
+    matching how the paper profiles long-running ports; see
+    :func:`repro.workloads.characterize`.
+    """
+    from repro.workloads.characterize import characterize
+
+    names = list(workloads) if workloads is not None else list(WORKLOAD_SPECS)
+    rows = []
+    for name in sorted(names):
+        spec = WORKLOAD_SPECS[name]
+        measured = characterize(load_workload(name, refs=refs))
+        rows.append([
+            name,
+            spec.category,
+            measured.reads,
+            measured.writes,
+            round(measured.rw_ratio, 1),
+            round(spec.paper_rw_ratio, 1),
+            round(100 * measured.read_hit, 1),
+            round(spec.paper_read_hit, 1),
+            round(100 * measured.write_hit, 1),
+            round(spec.paper_write_hit, 1),
+            round(100 * measured.rb_hit, 1),
+            spec.threads,
+        ])
+    return ExperimentResult(
+        experiment="tab2",
+        title="Benchmark characterization (measured vs paper targets)",
+        columns=[
+            "workload", "category", "reads", "writes",
+            "rw_ratio", "paper_rw", "d$_read_hit%", "paper_read_hit%",
+            "d$_write_hit%", "paper_write_hit%", "rb_hit%", "threads",
+        ],
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 15 — in-memory execution latency across the three platforms
+# ---------------------------------------------------------------------------
+
+
+def figure15(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 24_000,
+) -> ExperimentResult:
+    results = platform_matrix(workloads, refs)
+    names = sorted({name for name, _ in results})
+    rows = []
+    l_over_leg = []
+    b_over_l = []
+    for name in names:
+        legacy = results[(name, "legacy")].wall_ns
+        baseline = results[(name, "lightpc_b")].wall_ns
+        light = results[(name, "lightpc")].wall_ns
+        rows.append([
+            name,
+            round(legacy / 1e6, 3),
+            round(baseline / 1e6, 3),
+            round(light / 1e6, 3),
+            round(light / legacy, 2),
+            round(baseline / light, 2),
+        ])
+        l_over_leg.append(light / legacy)
+        b_over_l.append(baseline / light)
+    notes = {
+        "lightpc_vs_legacy_mean": geometric_mean(l_over_leg),
+        "baseline_vs_lightpc_mean": geometric_mean(b_over_l),
+        "baseline_vs_lightpc_max": max(b_over_l),
+    }
+    return ExperimentResult(
+        experiment="fig15",
+        title="In-memory execution latency: LegacyPC vs LightPC-B vs LightPC",
+        columns=["workload", "legacy_ms", "lightpc_b_ms", "lightpc_ms",
+                 "lightpc/legacy", "lightpc_b/lightpc"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 16 — memory-level read latency, LightPC-B normalized to LightPC
+# ---------------------------------------------------------------------------
+
+
+def figure16(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 24_000,
+) -> ExperimentResult:
+    results = platform_matrix(workloads, refs)
+    names = sorted({name for name, _ in results})
+    rows = []
+    ratios = {}
+    for name in names:
+        light = results[(name, "lightpc")].mean_read_latency_ns
+        baseline = results[(name, "lightpc_b")].mean_read_latency_ns
+        ratio = baseline / max(light, 1e-9)
+        ratios[name] = ratio
+        rows.append([name, round(light, 1), round(baseline, 1), round(ratio, 2)])
+    notes = {
+        "mean_ratio": geometric_mean(list(ratios.values())),
+        "max_ratio": max(ratios.values()),
+        "min_ratio": min(ratios.values()),
+    }
+    if "wrf" in ratios:
+        notes["wrf_ratio"] = ratios["wrf"]
+    if "mcf" in ratios:
+        notes["mcf_ratio"] = ratios["mcf"]
+    return ExperimentResult(
+        experiment="fig16",
+        title="Memory-level read latency of LightPC-B normalized to LightPC",
+        columns=["workload", "lightpc_read_ns", "lightpc_b_read_ns", "ratio"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 17 — STREAM sustainable bandwidth
+# ---------------------------------------------------------------------------
+
+
+def figure17(elements: int = 24_000) -> ExperimentResult:
+    rows = []
+    ratios = {}
+    for kernel_name in STREAM_KERNELS:
+        bandwidth = {}
+        for platform in ("legacy", "lightpc"):
+            kernel = stream_kernel(kernel_name, elements=elements)
+            config = PlatformConfig().sized_for(kernel.array_bytes * 6)
+            machine = Machine(platform, config)
+            # STREAM runs one thread per core over disjoint chunks.
+            chunk = elements // 8
+            traces = [
+                stream_kernel(
+                    kernel_name, elements=chunk,
+                    array_bytes=kernel.array_bytes,
+                )
+                for _ in range(8)
+            ]
+            # Offset each thread's arrays so they stream independently.
+            traces = [
+                _OffsetTrace(trace, offset=i * kernel.array_bytes * 3)
+                for i, trace in enumerate(traces)
+            ]
+            result = machine.complex.run_traces(traces)
+            moved = sum(t.inner.bytes_moved for t in traces)
+            bandwidth[platform] = moved / max(result.wall_ns, 1e-9)  # B/ns == GB/s
+        ratio = bandwidth["lightpc"] / bandwidth["legacy"]
+        ratios[kernel_name] = ratio
+        rows.append([
+            kernel_name,
+            round(bandwidth["legacy"], 3),
+            round(bandwidth["lightpc"], 3),
+            round(ratio, 3),
+        ])
+    notes = {
+        "mean_ratio": sum(ratios.values()) / len(ratios),
+        "add_triad_vs_copy_scale": (
+            (ratios["add"] + ratios["triad"]) / (ratios["copy"] + ratios["scale"])
+        ),
+    }
+    return ExperimentResult(
+        experiment="fig17",
+        title="STREAM bandwidth: LightPC normalized to LegacyPC",
+        columns=["kernel", "legacy_gbps", "lightpc_gbps", "ratio"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+class _OffsetTrace:
+    """Shift every address of a re-iterable trace by a fixed offset."""
+
+    def __init__(self, inner, offset: int) -> None:
+        self.inner = inner
+        self.offset = offset
+
+    def __iter__(self):
+        from repro.workloads.trace import TraceRecord
+
+        for record in self.inner:
+            yield TraceRecord(
+                instructions=record.instructions,
+                address=record.address + self.offset,
+                is_write=record.is_write,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 18 — power and energy across platforms
+# ---------------------------------------------------------------------------
+
+
+def figure18(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 24_000,
+) -> ExperimentResult:
+    results = platform_matrix(workloads, refs)
+    names = sorted({name for name, _ in results})
+    rows = []
+    power_ratio = []
+    energy_ratio_l = []
+    energy_ratio_b = []
+    for name in names:
+        legacy = results[(name, "legacy")]
+        baseline = results[(name, "lightpc_b")]
+        light = results[(name, "lightpc")]
+        rows.append([
+            name,
+            round(legacy.total_w, 2),
+            round(baseline.total_w, 2),
+            round(light.total_w, 2),
+            round(legacy.energy_j * 1e3, 3),
+            round(baseline.energy_j * 1e3, 3),
+            round(light.energy_j * 1e3, 3),
+        ])
+        power_ratio.append(light.total_w / legacy.total_w)
+        energy_ratio_l.append(light.energy_j / legacy.energy_j)
+        energy_ratio_b.append(baseline.energy_j / legacy.energy_j)
+    notes = {
+        "lightpc_power_fraction": sum(power_ratio) / len(power_ratio),
+        "lightpc_energy_saving": 1 - sum(energy_ratio_l) / len(energy_ratio_l),
+        "baseline_energy_saving": 1 - sum(energy_ratio_b) / len(energy_ratio_b),
+    }
+    return ExperimentResult(
+        experiment="fig18",
+        title="Power and energy: LegacyPC vs LightPC-B vs LightPC",
+        columns=["workload", "legacy_w", "lightpc_b_w", "lightpc_w",
+                 "legacy_mj", "lightpc_b_mj", "lightpc_mj"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 19 — persistent-computing performance vs the baselines
+# ---------------------------------------------------------------------------
+
+
+def _sng_mechanism() -> LightPCSnG:
+    kernel = Kernel()
+    kernel.populate()
+    sng = SnG(kernel, flush_port=lambda t: t + 2_000.0,
+              dirty_lines_fn=lambda: [256] * 8)
+    stop = sng.stop()
+    go = sng.go()
+    return LightPCSnG.from_reports(stop, go)
+
+
+def _profiles(
+    results: dict[tuple[str, str], RunResult],
+    refs: int,
+) -> dict[str, dict[str, ExecutionProfile]]:
+    """Full-run-scaled execution profiles per workload per platform."""
+    out: dict[str, dict[str, ExecutionProfile]] = {}
+    for (name, platform), result in results.items():
+        workload = load_workload(name, refs=refs)
+        scale = full_run_scale(workload, refs)
+        writes = sum(s.writes for s in result.complex_result.per_core)
+        wall_s = max(result.wall_ns * 1e-9, 1e-12)
+        profile = ExecutionProfile(
+            workload=name,
+            wall_ns=result.wall_ns,
+            instructions=result.instructions,
+            footprint_bytes=(
+                workload.spec.profile.working_set_lines * 64 * workload.threads
+            ),
+            dirty_bytes_per_s=writes * 64 / wall_s,
+        ).scaled(scale)
+        out.setdefault(name, {})[platform] = profile
+    return out
+
+
+def execution_profiles(
+    workloads: Sequence[str],
+    refs: int = 24_000,
+) -> dict[str, dict[str, ExecutionProfile]]:
+    """Full-run-scaled execution profiles per workload per platform
+    (public wrapper over the shared platform matrix)."""
+    results = platform_matrix(tuple(workloads), refs)
+    return _profiles(results, refs)
+
+
+def figure19(
+    workloads: Optional[Sequence[str]] = None,
+    refs: int = 24_000,
+) -> ExperimentResult:
+    """Execution + persistence-control cycles, normalized to LightPC."""
+    results = platform_matrix(workloads, refs)
+    profiles = _profiles(results, refs)
+    sng = _sng_mechanism()
+    mechanisms = {
+        "syspc": SysPC(),
+        "acheckpc": ACheckPC(),
+        "scheckpc": SCheckPC(),
+    }
+    clock = ClockDomain()
+    rows = []
+    ratio_acc: dict[str, list[float]] = {m: [] for m in mechanisms}
+    for name in sorted(profiles):
+        light_profile = profiles[name]["lightpc"]
+        legacy_profile = profiles[name]["legacy"]
+        light_total = sng.outcome(light_profile).total_ns
+        row = [name, round(clock.to_cycles(light_total) / 1e9, 2)]
+        for mech_name, mechanism in mechanisms.items():
+            outcome = mechanism.outcome(legacy_profile)
+            total = outcome.total_ns + outcome.recover_ns
+            ratio = total / light_total
+            ratio_acc[mech_name].append(ratio)
+            row.extend([
+                round(clock.to_cycles(total) / 1e9, 2),
+                round(ratio, 2),
+            ])
+        rows.append(row)
+    notes = {
+        f"{m}_vs_lightpc_mean": geometric_mean(v) for m, v in ratio_acc.items()
+    }
+    return ExperimentResult(
+        experiment="fig19",
+        title="Persistent computing: cycles normalized to LightPC",
+        columns=["workload", "lightpc_bcycles",
+                 "syspc_bcycles", "syspc/lightpc",
+                 "acheckpc_bcycles", "acheckpc/lightpc",
+                 "scheckpc_bcycles", "scheckpc/lightpc"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 20 — flush latency at the power signal vs hold-up windows
+# ---------------------------------------------------------------------------
+
+
+def figure20(
+    workload: str = "redis",
+    refs: int = 24_000,
+) -> ExperimentResult:
+    results = platform_matrix((workload,), refs)
+    profiles = _profiles(results, refs)[workload]
+    sng = _sng_mechanism()
+    flushes = {
+        "syspc": SysPC().flush_latency_ns(profiles["legacy"]),
+        "scheckpc": SCheckPC().flush_latency_ns(profiles["legacy"]),
+        "lightpc_stop": sng.stop_ns,
+    }
+    atx_ns = ATX_PSU.holdup_ns(18.9)
+    server_ns = SERVER_PSU.holdup_ns(18.9)
+    rows = [["holdup/atx", round(atx_ns / 1e6, 1), 1.0, 1.0]]
+    rows.append(["holdup/server", round(server_ns / 1e6, 1),
+                 round(server_ns / atx_ns, 2), 1.0])
+    for name, flush_ns in flushes.items():
+        rows.append([
+            name, round(flush_ns / 1e6, 2),
+            round(flush_ns / atx_ns, 2), round(flush_ns / server_ns, 2),
+        ])
+    notes = {
+        "syspc_vs_atx": flushes["syspc"] / atx_ns,
+        "syspc_vs_server": flushes["syspc"] / server_ns,
+        "scheckpc_vs_atx": flushes["scheckpc"] / atx_ns,
+        "lightpc_vs_atx": flushes["lightpc_stop"] / atx_ns,
+    }
+    return ExperimentResult(
+        experiment="fig20",
+        title="Flush latency at the power signal vs PSU hold-up",
+        columns=["case", "ms", "vs_atx_holdup", "vs_server_holdup"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 21 — power-down/power-up time series (IPC and power)
+# ---------------------------------------------------------------------------
+
+
+def figure21(
+    workload: str = "redis",
+    refs: int = 24_000,
+    windows: int = 12,
+) -> ExperimentResult:
+    """Phase timeline around one power cycle: IPC and watts per phase.
+
+    The paper plots dynamic IPC/power sampled over time; here each
+    mechanism's timeline is reconstructed phase by phase (execute ->
+    flush -> off -> recover -> execute) from the measured models.
+    """
+    results = platform_matrix((workload,), refs)
+    profiles = _profiles(results, refs)[workload]
+    clock = ClockDomain()
+    sng = _sng_mechanism()
+    exec_ipc = {
+        platform: results[(workload, platform)].ipc
+        for platform in ("legacy", "lightpc")
+    }
+    exec_power = {
+        platform: results[(workload, platform)].total_w
+        for platform in ("legacy", "lightpc")
+    }
+    mechanisms = {
+        "lightpc": (sng, profiles["lightpc"], "lightpc"),
+        "syspc": (SysPC(), profiles["legacy"], "legacy"),
+        "acheckpc": (ACheckPC(), profiles["legacy"], "legacy"),
+        "scheckpc": (SCheckPC(), profiles["legacy"], "legacy"),
+    }
+    #: paper-reported flush-phase IPCs (down-prep, up-recovery)
+    phase_ipc = {
+        "lightpc": (0.66, 0.64),
+        "syspc": (0.5, 0.59),
+        "acheckpc": (0.23, 0.23),
+        "scheckpc": (0.30, 0.19),
+    }
+    rows = []
+    notes = {}
+    for name, (mechanism, profile, host) in mechanisms.items():
+        outcome = mechanism.outcome(profile)
+        down_ipc, up_ipc = phase_ipc[name]
+        phases = [
+            ("execute", profile.wall_ns / 4, exec_ipc[host], exec_power[host]),
+            ("flush", max(outcome.flush_at_fail_ns, 1.0), down_ipc,
+             outcome.flush_power_w),
+            ("off", 5e6, 0.0, 0.0),
+            ("recover", max(outcome.recover_ns, 1.0), up_ipc,
+             outcome.recover_power_w),
+            ("resume", profile.wall_ns / 4, exec_ipc[host], exec_power[host]),
+        ]
+        for phase, duration_ns, ipc, watts in phases:
+            rows.append([
+                name, phase,
+                round(clock.to_cycles(duration_ns) / 1e6, 3),
+                round(ipc, 3), round(watts, 2),
+                round(watts * duration_ns * 1e-9, 4),
+            ])
+        notes[f"{name}_flush_mcycles"] = clock.to_cycles(
+            outcome.flush_at_fail_ns) / 1e6
+        notes[f"{name}_recover_mcycles"] = clock.to_cycles(
+            outcome.recover_ns) / 1e6
+        notes[f"{name}_flush_energy_j"] = outcome.flush_energy_j
+    notes["syspc_go_vs_lightpc_go"] = (
+        notes["syspc_recover_mcycles"] / notes["lightpc_recover_mcycles"]
+    )
+    return ExperimentResult(
+        experiment="fig21",
+        title="Power-down/up timeline: per-phase cycles, IPC, power, energy",
+        columns=["mechanism", "phase", "mcycles", "ipc", "watts", "joules"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 22 — SnG worst-case scalability
+# ---------------------------------------------------------------------------
+
+
+def figure22(
+    core_counts: Sequence[int] = (8, 16, 32, 48, 64),
+    cache_sizes: Sequence[int] = (16 << 10, 256 << 10, 1 << 20, 40 << 20),
+    drivers: int = 730,
+) -> ExperimentResult:
+    """Worst case: 730 dpm drivers, every cacheline dirty."""
+    rows = []
+    notes = {}
+    for cores in core_counts:
+        for cache_bytes in cache_sizes:
+            per_core_lines = cache_bytes // 64 // cores
+            kernel = Kernel(KernelConfig(cores=cores, extra_drivers=drivers - 10))
+            kernel.populate()
+            sng = SnG(
+                kernel,
+                flush_port=lambda t: t + 2_000.0,
+                dirty_lines_fn=lambda n=per_core_lines, c=cores: [n] * c,
+            )
+            report = sng.stop()
+            rows.append([
+                cores, cache_bytes // 1024,
+                round(report.total_ms, 2),
+                report.total_ms <= ATX_PSU.spec_holdup_ms,
+                report.total_ms <= SERVER_PSU.spec_holdup_ms,
+            ])
+    by = {(r[0], r[1]): r for r in rows}
+    for note, key, column in (
+        ("cores32_16kb_fits_atx", (32, 16), 3),
+        ("cores64_40mb_fits_server", (64, 40 << 10), 4),
+        ("cores64_16kb_fits_atx", (64, 16), 3),
+    ):
+        if key in by:
+            notes[note] = float(by[key][column])
+    return ExperimentResult(
+        experiment="fig22",
+        title="SnG worst-case scalability: cores x cache vs hold-up",
+        columns=["cores", "cache_kb", "stop_ms", "fits_atx_16ms",
+                 "fits_server_55ms"],
+        rows=rows,
+        notes=notes,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table I — configuration echo
+# ---------------------------------------------------------------------------
+
+
+def table1() -> ExperimentResult:
+    config = PlatformConfig()
+    rows = [
+        ["cores", TABLE1["cpu"]["cores"], config.cores],
+        ["frequency_ghz", TABLE1["cpu"]["frequency_ghz_asic"],
+         config.frequency_ghz],
+        ["l1_d$_bytes", 16 * 1024, config.core.cache.size_bytes],
+        ["nvdimm_count", TABLE1["memory"]["dimms"], 6],
+        ["read_latency_vs_dram", 1.1, None],
+        ["write_latency_vs_dram", 4.1, None],
+        ["capacity_vs_dram", 2.0, None],
+    ]
+    return ExperimentResult(
+        experiment="tab1",
+        title="Platform configuration (Table I)",
+        columns=["parameter", "paper", "configured"],
+        rows=rows,
+    )

@@ -1,0 +1,81 @@
+"""Export experiment results as CSV / JSON for external plotting.
+
+The benchmarks write human-readable markdown; anyone regenerating the
+paper's plots wants machine-readable series too.  These helpers keep the
+:class:`ExperimentResult` schema stable on disk: a ``schema`` block with
+the experiment id and columns, the rows, and the headline notes.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.analysis.experiments import ExperimentResult
+
+__all__ = ["result_from_json", "to_csv", "to_json", "write_results"]
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Rows as CSV, header included; notes go in trailing comments."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(result.columns)
+    for row in result.rows:
+        writer.writerow(row)
+    for key, value in result.notes.items():
+        buffer.write(f"# {key} = {value}\n")
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    return json.dumps(
+        {
+            "experiment": result.experiment,
+            "title": result.title,
+            "columns": result.columns,
+            "rows": result.rows,
+            "notes": result.notes,
+        },
+        indent=indent,
+        default=str,
+    )
+
+
+def result_from_json(blob: str) -> ExperimentResult:
+    """Inverse of :func:`to_json` (rows come back as plain lists)."""
+    payload = json.loads(blob)
+    for key in ("experiment", "title", "columns", "rows"):
+        if key not in payload:
+            raise ValueError(f"not an exported ExperimentResult: missing {key}")
+    return ExperimentResult(
+        experiment=payload["experiment"],
+        title=payload["title"],
+        columns=payload["columns"],
+        rows=payload["rows"],
+        notes=payload.get("notes", {}),
+    )
+
+
+def write_results(
+    results: Iterable[ExperimentResult],
+    directory: Union[str, Path],
+    formats: tuple[str, ...] = ("csv", "json"),
+) -> list[Path]:
+    """Write each result as <experiment>.<format>; returns paths written."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    serializers = {"csv": to_csv, "json": to_json}
+    for fmt in formats:
+        if fmt not in serializers:
+            raise ValueError(f"unknown format {fmt!r}")
+    for result in results:
+        for fmt in formats:
+            path = directory / f"{result.experiment}.{fmt}"
+            path.write_text(serializers[fmt](result))
+            written.append(path)
+    return written

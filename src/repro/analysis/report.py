@@ -1,0 +1,61 @@
+"""Fixed-width rendering of experiment results.
+
+The benchmarks print these tables; EXPERIMENTS.md embeds them, so the
+renderer is deliberately plain monospace markdown.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.experiments import ExperimentResult
+
+__all__ = ["render_notes", "render_result", "render_results"]
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:,.3g}" if abs(value) < 1e6 else f"{value:,.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_result(result: ExperimentResult) -> str:
+    """One experiment as a markdown table with its headline notes."""
+    header = [result.columns]
+    body = [[_format_cell(v) for v in row] for row in result.rows]
+    widths = [
+        max(len(str(row[i])) for row in header + body)
+        for i in range(len(result.columns))
+    ]
+    lines = [f"## {result.experiment}: {result.title}", ""]
+    lines.append(
+        "| " + " | ".join(
+            str(c).ljust(w) for c, w in zip(result.columns, widths)
+        ) + " |"
+    )
+    lines.append("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for row in body:
+        lines.append(
+            "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+        )
+    if result.notes:
+        lines.append("")
+        lines.extend(render_notes(result))
+    return "\n".join(lines)
+
+
+def render_notes(result: ExperimentResult) -> list[str]:
+    out = ["Headline numbers:", ""]
+    for key, value in result.notes.items():
+        out.append(f"- `{key}` = {_format_cell(value)}")
+    return out
+
+
+def render_results(results: Iterable[ExperimentResult]) -> str:
+    return "\n\n".join(render_result(r) for r in results)

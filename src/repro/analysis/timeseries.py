@@ -1,0 +1,88 @@
+"""Measured execution time series: per-window IPC and power.
+
+Fig. 21's phase reconstruction prices the power-down/up corridor; this
+module measures the *execution* side for real: the workload's traces are
+sliced into windows, each window runs on the live machine (caches and
+backend state carry over), and per-window IPC and watts come from the
+marginal instruction/stall/counter deltas.  Useful for spotting phase
+behaviour (warmup, steady state) and feeding the dynamic plots.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.experiments import ExperimentResult
+from repro.core.machine import Machine
+from repro.workloads.suites import load_workload
+
+__all__ = ["execution_timeseries"]
+
+
+def _totals(machine: Machine) -> tuple[int, float, dict[str, float]]:
+    instructions = sum(
+        core.stats.instructions for core in machine.complex.cores)
+    busy_ns = sum(core.stats.total_ns for core in machine.complex.cores)
+    return instructions, busy_ns, machine._backend_counters()
+
+
+def execution_timeseries(
+    workload_name: str = "redis",
+    platform: str = "lightpc",
+    windows: int = 10,
+    refs: int = 20_000,
+) -> ExperimentResult:
+    """Run one workload in ``windows`` slices; report IPC/power per slice."""
+    if windows <= 0:
+        raise ValueError("need at least one window")
+    workload = load_workload(workload_name, refs=refs)
+    machine = Machine.for_workload(platform, workload)
+
+    # materialize and slice each thread's trace
+    threads = [list(trace) for trace in workload.traces()]
+    per_window = max(1, min(len(t) for t in threads) // windows)
+
+    rows = []
+    clock = 0.0
+    prev_instr, _, prev_counters = _totals(machine)
+    ipcs = []
+    for window in range(windows):
+        chunks = [
+            thread[window * per_window:(window + 1) * per_window]
+            for thread in threads
+        ]
+        if not any(chunks):
+            break
+        result = machine.complex.run_traces(chunks, start_ns=clock)
+        clock += result.wall_ns
+        instr, _, counters = _totals(machine)
+        delta_instr = instr - prev_instr
+        delta_counters = {
+            key: counters.get(key, 0.0) - prev_counters.get(key, 0.0)
+            for key in counters
+        }
+        prev_instr, prev_counters = instr, counters
+        wall = max(result.wall_ns, 1e-9)
+        ipc = delta_instr / (wall * machine.config.frequency_ghz *
+                             machine.config.cores)
+        watts = machine.power_report(
+            wall, counters_override=delta_counters).total_w
+        ipcs.append(ipc)
+        rows.append([
+            window,
+            round(clock / 1e6, 4),
+            round(wall / 1e6, 4),
+            round(ipc, 3),
+            round(watts, 2),
+        ])
+    steady = ipcs[len(ipcs) // 2:] or [0.0]
+    return ExperimentResult(
+        experiment="exec_timeseries",
+        title=(f"Execution time series: {workload_name} on {platform}, "
+               f"{windows} windows"),
+        columns=["window", "t_end_ms", "window_ms", "ipc_per_core", "watts"],
+        rows=rows,
+        notes={
+            "warmup_ipc": ipcs[0] if ipcs else 0.0,
+            "steady_ipc": sum(steady) / len(steady),
+            "windows": float(len(rows)),
+        },
+    )

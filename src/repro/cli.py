@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro`` / ``lightpc-repro``.
+
+Subcommands mirror how the paper is used day to day:
+
+* ``run``          — execute one workload on one platform and report
+  latency / IPC / power / energy.
+* ``drill``        — power-failure drill: run, pull AC, recover, verify.
+* ``bench``        — regenerate one paper table/figure (or ``all``).
+* ``characterize`` — print the measured Table II row for a workload.
+* ``fuzz``         — run the crash-consistency fuzzing campaigns.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro import analysis
+from repro.analysis.crashfuzz import (
+    fuzz_machine,
+    fuzz_pool,
+    fuzz_psm,
+    fuzz_sector,
+)
+from repro.analysis.report import render_result
+from repro.core import Machine
+from repro.power.psu import ATX_PSU, SERVER_PSU
+from repro.workloads import (
+    WORKLOAD_SPECS,
+    characterize,
+    load_workload,
+    save_trace,
+    trace_stats,
+)
+
+__all__ = ["build_parser", "main"]
+
+_EXPERIMENTS = {
+    "fig2b": lambda: analysis.figure2b(),
+    "fig4": lambda: analysis.figure4(),
+    "fig8": lambda: analysis.figure8(),
+    "fig14": lambda: analysis.figure14(),
+    "tab1": lambda: analysis.table1(),
+    "tab2": lambda: analysis.table2(refs=16_000),
+    "fig15": lambda: analysis.figure15(refs=16_000),
+    "fig16": lambda: analysis.figure16(refs=16_000),
+    "fig17": lambda: analysis.figure17(),
+    "fig18": lambda: analysis.figure18(refs=16_000),
+    "fig19": lambda: analysis.figure19(refs=16_000),
+    "fig20": lambda: analysis.figure20(refs=16_000),
+    "fig21": lambda: analysis.figure21(refs=16_000),
+    "fig22": lambda: analysis.figure22(),
+}
+
+_FUZZERS = {
+    "psm": fuzz_psm,
+    "pool": fuzz_pool,
+    "sector": fuzz_sector,
+    "machine": fuzz_machine,
+}
+
+_PSUS = {"atx": ATX_PSU, "server": SERVER_PSU}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="lightpc-repro",
+        description="LightPC (ISCA'22) reproduction: simulated OC-PMEM "
+                    "hardware and persistence-centric OS",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="execute one workload on one platform")
+    run.add_argument("--workload", default="redis",
+                     choices=sorted(WORKLOAD_SPECS))
+    run.add_argument("--platform", default="lightpc",
+                     choices=("legacy", "lightpc_b", "lightpc"))
+    run.add_argument("--refs", type=int, default=20_000,
+                     help="trace references (default 20000)")
+
+    drill = sub.add_parser("drill", help="power-failure drill with recovery")
+    drill.add_argument("--workload", default="redis",
+                       choices=sorted(WORKLOAD_SPECS))
+    drill.add_argument("--psu", default="atx", choices=sorted(_PSUS))
+    drill.add_argument("--refs", type=int, default=12_000)
+
+    bench = sub.add_parser("bench", help="regenerate a paper table/figure")
+    bench.add_argument("experiment",
+                       choices=sorted(_EXPERIMENTS) + ["all"])
+    bench.add_argument("--export", metavar="DIR", default=None,
+                       help="also write <id>.csv/.json under DIR")
+
+    char = sub.add_parser("characterize",
+                          help="measured Table II row for a workload")
+    char.add_argument("--workload", default="redis",
+                      choices=sorted(WORKLOAD_SPECS))
+    char.add_argument("--refs", type=int, default=16_000)
+
+    fuzz = sub.add_parser("fuzz", help="crash-consistency fuzzing")
+    fuzz.add_argument("target", choices=sorted(_FUZZERS) + ["all"])
+    fuzz.add_argument("--trials", type=int, default=None)
+
+    trace = sub.add_parser("trace", help="export or summarize trace files")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    export = trace_sub.add_parser("export",
+                                  help="write a workload's thread-0 trace")
+    export.add_argument("--workload", default="redis",
+                        choices=sorted(WORKLOAD_SPECS))
+    export.add_argument("--refs", type=int, default=16_000)
+    export.add_argument("--out", required=True)
+    stats = trace_sub.add_parser("stats", help="summarize a trace file")
+    stats.add_argument("path")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    workload = load_workload(args.workload, refs=args.refs)
+    machine = Machine.for_workload(args.platform, workload)
+    result = machine.run(workload)
+    print(f"{args.workload} on {args.platform}: "
+          f"{result.wall_ns / 1e6:.3f} ms, IPC {result.ipc:.2f}, "
+          f"{result.total_w:.1f} W, {result.energy_j * 1e3:.2f} mJ")
+    print(f"  D$ read hit {result.cache_read_hit:.1%}, "
+          f"mean memory read {result.mean_read_latency_ns:.0f} ns")
+    return 0
+
+
+def _cmd_drill(args: argparse.Namespace) -> int:
+    workload = load_workload(args.workload, refs=args.refs)
+    machine = Machine.for_workload("lightpc", workload)
+    machine.run(workload)
+    outcome = machine.power_fail(_PSUS[args.psu])
+    stop = outcome.stop
+    print(f"AC pulled under {args.psu}: hold-up "
+          f"{outcome.holdup_ns / 1e6:.1f} ms, Stop {stop.total_ms:.2f} ms "
+          f"-> {'SURVIVED' if outcome.survived else 'LOST STATE'}")
+    go = machine.recover()
+    if go.warm:
+        intact = machine.sng.verify_resumed_state()
+        print(f"warm Go in {go.total_ms:.2f} ms; EP-cut state intact: "
+              f"{intact}")
+        return 0 if (outcome.survived and intact) else 1
+    print("cold boot (no committed EP-cut)")
+    return 1
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    names = sorted(_EXPERIMENTS) if args.experiment == "all" else \
+        [args.experiment]
+    results = []
+    for name in names:
+        result = _EXPERIMENTS[name]()
+        results.append(result)
+        print(render_result(result))
+        print()
+    if args.export:
+        from repro.analysis.export import write_results
+
+        paths = write_results(results, args.export)
+        print(f"exported {len(paths)} files under {args.export}")
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    workload = load_workload(args.workload, refs=args.refs)
+    spec = WORKLOAD_SPECS[args.workload]
+    measured = characterize(workload)
+    print(f"{args.workload} ({spec.category}, {measured.threads} threads)")
+    rows = [
+        ("reads", f"{measured.reads:,}", f"{spec.paper_reads:,.0f} (paper)"),
+        ("writes", f"{measured.writes:,}", f"{spec.paper_writes:,.0f}"),
+        ("read/write ratio", f"{measured.rw_ratio:.1f}",
+         f"{spec.paper_rw_ratio:.1f}"),
+        ("D$ read hit", f"{measured.read_hit:.1%}",
+         f"{spec.paper_read_hit:.1f}%"),
+        ("D$ write hit", f"{measured.write_hit:.1%}",
+         f"{spec.paper_write_hit:.1f}%"),
+        ("row-buffer hit", f"{measured.rb_hit:.1%}", "-"),
+    ]
+    for label, got, want in rows:
+        print(f"  {label:<18} {got:>12}  vs {want}")
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    names = sorted(_FUZZERS) if args.target == "all" else [args.target]
+    status = 0
+    for name in names:
+        fuzzer = _FUZZERS[name]
+        report = fuzzer(trials=args.trials) if args.trials else fuzzer()
+        print(report.summary())
+        if not report.ok:
+            status = 1
+            for violation in report.violations[:5]:
+                print(f"  ! {violation}")
+    return status
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.trace_command == "export":
+        workload = load_workload(args.workload, refs=args.refs)
+        count = save_trace(iter(workload.traces()[0]), args.out)
+        print(f"wrote {count:,} records ({args.workload}, thread 0) "
+              f"to {args.out}")
+        return 0
+    summary = trace_stats(args.path)
+    for key, value in summary.items():
+        if isinstance(value, float) and not value.is_integer():
+            print(f"  {key:<18} {value:.3f}")
+        else:
+            print(f"  {key:<18} {int(value):,}")
+    return 0
+
+
+_COMMANDS = {
+    "run": _cmd_run,
+    "drill": _cmd_drill,
+    "bench": _cmd_bench,
+    "characterize": _cmd_characterize,
+    "fuzz": _cmd_fuzz,
+    "trace": _cmd_trace,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

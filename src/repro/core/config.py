@@ -1,0 +1,129 @@
+"""Platform configuration (paper Table I) and clock-domain helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.cpu.core import CoreConfig
+from repro.memory.dram import DRAMConfig
+from repro.ocpmem.psm import PSMConfig
+from repro.pecos.kernel import KernelConfig
+
+__all__ = [
+    "ClockDomain",
+    "PLATFORM_NAMES",
+    "PlatformConfig",
+    "PlatformName",
+    "TABLE1",
+]
+
+PlatformName = Literal["legacy", "lightpc_b", "lightpc"]
+PLATFORM_NAMES: tuple[PlatformName, ...] = ("legacy", "lightpc_b", "lightpc")
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """Cycles <-> nanoseconds for a clock frequency.
+
+    The prototype runs at 0.4 GHz on the FPGA; Synopsys timing closes the
+    same RTL at 1.6 GHz for the ASIC target (Table I).  All simulated
+    latencies in this repository are nanoseconds; experiments that report
+    cycles convert through this.
+    """
+
+    frequency_ghz: float = 1.6
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    def to_cycles(self, ns: float) -> float:
+        return ns * self.frequency_ghz
+
+    def to_ns(self, cycles: float) -> float:
+        return cycles / self.frequency_ghz
+
+
+#: Table I, verbatim targets of the prototype configuration.
+TABLE1: dict[str, object] = {
+    "cpu": {
+        "cores": 8,
+        "isa": "RV64",
+        "microarchitecture": "7-stage out-of-order (SonicBOOM)",
+        "l1_cache": "16KB I$ + 16KB D$",
+        "frequency_ghz_fpga": 0.4,
+        "frequency_ghz_asic": 1.6,
+    },
+    "memory": {
+        "dimms": 6,
+        "capacity_vs_dram": "2x",
+        "read_latency_vs_dram": "1.1x",
+        "write_latency_vs_dram": "4.1x",
+    },
+}
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Everything needed to build one of the three platforms.
+
+    Memory capacities default to scaled-down stand-ins; ``sized_for``
+    grows them to fit a workload's footprint (the paper configures all
+    platforms to run without paging/swap).
+    """
+
+    cores: int = 8
+    frequency_ghz: float = 1.6
+    core: CoreConfig = field(default_factory=CoreConfig)
+    dram: DRAMConfig = field(default_factory=lambda: DRAMConfig(capacity=1 << 26))
+    psm_lines_per_dimm: int = 1 << 17
+    kernel: KernelConfig = field(default_factory=KernelConfig)
+    #: run a light background of kernel-thread memory traffic alongside
+    #: each workload (the paper's workloads run over tens of kernel threads)
+    kernel_noise: bool = True
+    #: noise traffic as a fraction of the workload's references
+    kernel_noise_fraction: float = 0.08
+
+    @property
+    def clock(self) -> ClockDomain:
+        return ClockDomain(self.frequency_ghz)
+
+    def psm_config(self, baseline: bool = False) -> PSMConfig:
+        if baseline:
+            return PSMConfig.lightpc_b(lines_per_dimm=self.psm_lines_per_dimm)
+        return PSMConfig(lines_per_dimm=self.psm_lines_per_dimm)
+
+    def sized_for(self, footprint_bytes: int) -> "PlatformConfig":
+        """Grow memory capacities to hold a workload without paging."""
+        needed_lines = footprint_bytes // 64 + 64
+        lines_per_dimm = self.psm_lines_per_dimm
+        while lines_per_dimm * 6 - 1 < needed_lines:
+            lines_per_dimm *= 2
+        dram_capacity = self.dram.capacity
+        while dram_capacity < footprint_bytes * 2:
+            dram_capacity *= 2
+        if (
+            lines_per_dimm == self.psm_lines_per_dimm
+            and dram_capacity == self.dram.capacity
+        ):
+            return self
+        return PlatformConfig(
+            cores=self.cores,
+            frequency_ghz=self.frequency_ghz,
+            core=self.core,
+            dram=DRAMConfig(
+                capacity=dram_capacity,
+                ranks=self.dram.ranks,
+                timing=self.dram.timing,
+                queue_ns=self.dram.queue_ns,
+            ),
+            psm_lines_per_dimm=lines_per_dimm,
+            kernel=self.kernel,
+            kernel_noise=self.kernel_noise,
+            kernel_noise_fraction=self.kernel_noise_fraction,
+        )

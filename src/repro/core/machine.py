@@ -1,0 +1,264 @@
+"""The Machine: one platform wired end to end.
+
+A Machine owns the memory backend (DRAM for LegacyPC, a PSM for
+LightPC-B/LightPC), the multi-core complex, the PecOS kernel, the SnG
+orchestrator (LightPC family only), the power model, and a PSU.  It runs
+workloads, injects power failures, and recovers — the same life cycle the
+paper exercises by physically pulling AC from the prototype.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.config import PLATFORM_NAMES, PlatformConfig, PlatformName
+from repro.core.results import PowerFailOutcome, RunResult
+from repro.cpu.complex import MultiCoreComplex
+from repro.memory.dram import DRAMSubsystem
+from repro.ocpmem.psm import PSM
+from repro.pecos.kernel import Kernel
+from repro.pecos.sng import SnG
+from repro.power.model import PowerModel
+from repro.power.psu import ATX_PSU, PSUModel
+from repro.workloads.suites import Workload
+from repro.workloads.trace import LocalityProfile, TraceGenerator
+
+__all__ = ["Machine"]
+
+#: Background kernel-thread traffic profile (light, write-mixed).
+_KERNEL_NOISE_PROFILE = LocalityProfile(
+    working_set_lines=4096,
+    hot_lines=128,
+    hot_fraction=0.7,
+    sequential_fraction=0.1,
+    write_fraction=0.3,
+    read_after_write=0.1,
+    write_page_locality=0.6,
+    instructions_per_access=6.0,
+)
+
+
+class Machine:
+    """One platform instance."""
+
+    def __init__(
+        self,
+        platform: PlatformName,
+        config: Optional[PlatformConfig] = None,
+        functional: bool = False,
+    ) -> None:
+        if platform not in PLATFORM_NAMES:
+            raise ValueError(
+                f"unknown platform {platform!r}; expected one of {PLATFORM_NAMES}"
+            )
+        self.platform = platform
+        self.config = config or PlatformConfig()
+        self.power_model = PowerModel()
+
+        self.backend: Union[DRAMSubsystem, PSM]
+        if platform == "legacy":
+            self.backend = DRAMSubsystem(self.config.dram)
+        else:
+            self.backend = PSM(
+                self.config.psm_config(baseline=(platform == "lightpc_b")),
+                functional=functional,
+            )
+        self.complex = MultiCoreComplex(
+            self.backend, cores=self.config.cores, core_config=self.config.core
+        )
+        self.kernel = Kernel(self.config.kernel)
+        self.kernel.populate()
+        self.sng: Optional[SnG] = None
+        if platform != "legacy":
+            self.sng = SnG(
+                kernel=self.kernel,
+                flush_port=self.backend.flush,
+                dirty_lines_fn=self._dump_caches,
+                capture_hw_state=self.backend.capture_registers,
+                restore_hw_state=self.backend.restore_wear_registers,
+            )
+        self._powered = True
+        self.runs: list[RunResult] = []
+
+    # -- convenience constructors ------------------------------------------
+
+    @classmethod
+    def for_workload(
+        cls,
+        platform: PlatformName,
+        workload: Workload,
+        config: Optional[PlatformConfig] = None,
+        functional: bool = False,
+    ) -> "Machine":
+        """Build a machine whose memory fits the workload (no paging)."""
+        base = config or PlatformConfig()
+        footprint = (
+            workload.spec.profile.working_set_lines * 64 * workload.threads
+        )
+        return cls(platform, base.sized_for(footprint * 2), functional)
+
+    # -- execution --------------------------------------------------------------
+
+    def run(self, workload: Workload, refs: Optional[int] = None) -> RunResult:
+        """Execute one workload to completion and meter it."""
+        if not self._powered:
+            raise RuntimeError("machine is powered off; recover() first")
+        traces = workload.traces(refs)
+        if self.config.kernel_noise:
+            total = refs if refs is not None else workload.refs
+            noise_refs = max(
+                1, int(total * self.config.kernel_noise_fraction) // 2
+            )
+            base = workload.spec.profile.working_set_lines * 64 * workload.threads
+            for i in range(2):
+                generator = TraceGenerator(
+                    _KERNEL_NOISE_PROFILE,
+                    seed=991 + i,
+                    base_address=base + i * (1 << 20),
+                )
+                traces = list(traces) + [_Replay(generator, noise_refs)]
+        complex_result = self.complex.run_traces(traces)
+        result = RunResult(
+            platform=self.platform,
+            workload=workload.name,
+            complex_result=complex_result,
+            power=self.power_report(complex_result.wall_ns),
+            backend_counters=self._backend_counters(),
+            mean_read_latency_ns=self.backend.read_latency.mean,
+            cache_read_hit=self._mean_cache_ratio(read=True),
+            cache_write_hit=self._mean_cache_ratio(read=False),
+            row_buffer_hit=self._row_buffer_hit(),
+        )
+        self.runs.append(result)
+        return result
+
+    def _dump_caches(self) -> list[int]:
+        """SnG's cache dump: count *and functionally write back* every
+        core's dirty lines, so the EP-cut's memory image really contains
+        them before the PSM flush port runs."""
+        counts = [core.cache.dirty_count() for core in self.complex.cores]
+        for core in self.complex.cores:
+            core.flush_cache()
+        return counts
+
+    def _mean_cache_ratio(self, read: bool) -> float:
+        ratios = [
+            (core.cache.read_hit_ratio if read else core.cache.write_hit_ratio)
+            for core in self.complex.cores
+            if (core.cache.read_hits.total if read else core.cache.write_hits.total)
+        ]
+        return sum(ratios) / len(ratios) if ratios else 0.0
+
+    def _row_buffer_hit(self) -> float:
+        if isinstance(self.backend, PSM):
+            return self.backend.buffer_hits.ratio
+        return self.backend.row_hit_ratio
+
+    def _backend_counters(self) -> dict[str, float]:
+        if isinstance(self.backend, PSM):
+            counters = dict(self.backend.counters())
+            nvdimm = {"reads": 0, "writes": 0}
+            for dimm in self.backend.nvdimms:
+                for key, value in dimm.counters().items():
+                    nvdimm[key] += value
+            counters.update({f"nvdimm_{k}": v for k, v in nvdimm.items()})
+            return counters
+        return {k: float(v) for k, v in self.backend.counters().items()}
+
+    # -- power ---------------------------------------------------------------------
+
+    def power_report(self, duration_ns: float, busy_fraction: float = 1.0,
+                     counters_override: Optional[dict] = None):
+        """Full-system power over an interval (Fig. 18's quantity).
+
+        ``counters_override`` substitutes the backend's cumulative
+        counters — time-series callers pass per-window deltas.
+        """
+        model = self.power_model
+        parts = model.cpu_parts(self.config.cores, busy_fraction)
+        if self.platform == "legacy":
+            counters = counters_override or self.backend.counters()
+            dimms = 4.0
+            parts += [
+                ("dram_dimm", dimms, {
+                    k: v / dimms for k, v in counters.items()
+                }),
+                ("dram_complex", 1.0, None),
+                ("board_legacy", 1.0, None),
+            ]
+        else:
+            if counters_override is not None:
+                psm_counters = counters_override
+                nvdimm_counters = {
+                    "reads": counters_override.get("nvdimm_reads", 0.0),
+                    "writes": counters_override.get("nvdimm_writes", 0.0),
+                }
+            else:
+                psm_counters = self.backend.counters()
+                nvdimm_counters = {"reads": 0.0, "writes": 0.0}
+                for dimm in self.backend.nvdimms:
+                    for key, value in dimm.counters().items():
+                        nvdimm_counters[key] += value
+            parts += [
+                ("psm", 1.0, psm_counters),
+                ("bare_nvdimm", 6.0, {
+                    k: v / 6.0 for k, v in nvdimm_counters.items()
+                }),
+                ("board_light", 1.0, None),
+            ]
+        return model.report(duration_ns, parts)
+
+    # -- power failure & recovery ----------------------------------------------------
+
+    def power_fail(
+        self, psu: PSUModel = ATX_PSU, at_ns: float = 0.0
+    ) -> PowerFailOutcome:
+        """Drop AC: SnG races the hold-up window, then the rails die."""
+        if not self._powered:
+            raise RuntimeError("machine is already off")
+        # Steady-state draw: metered over the last run, or static if idle.
+        window_ns = self.runs[-1].wall_ns if self.runs else 1e6
+        load_w = self.power_report(max(window_ns, 1e3)).total_w
+        holdup_ns = psu.holdup_ns(load_w)
+        outcome = PowerFailOutcome(
+            platform=self.platform, psu=psu.name, holdup_ns=holdup_ns
+        )
+        if self.sng is not None:
+            stop = self.sng.stop(at_ns=at_ns)
+            outcome.stop = stop
+            outcome.survived = stop.total_ns <= holdup_ns
+            if not outcome.survived:
+                # The rails fell out of spec before Auto-Stop's final
+                # commit landed: the EP-cut is not authoritative and the
+                # next power-on must cold boot.
+                self.kernel.bootloader.clear_commit()
+                outcome.lost = "EP-cut incomplete: commit missing"
+        else:
+            outcome.survived = False
+            outcome.lost = "DRAM contents (no persistence mechanism)"
+        self.backend.power_cycle()
+        self._powered = False
+        return outcome
+
+    def recover(self):
+        """Power returns: Go (warm) or cold boot (legacy / failed Stop)."""
+        if self._powered:
+            raise RuntimeError("machine is still powered")
+        self._powered = True
+        if self.sng is not None:
+            return self.sng.go()
+        # LegacyPC: cold boot, everything rebuilt from scratch.
+        self.kernel = Kernel(self.config.kernel)
+        self.kernel.populate()
+        return None
+
+
+class _Replay:
+    """Re-iterable wrapper over a deterministic trace generator."""
+
+    def __init__(self, generator: TraceGenerator, count: int) -> None:
+        self._generator = generator
+        self._count = count
+
+    def __iter__(self):
+        return self._generator.records(self._count)

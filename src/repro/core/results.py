@@ -1,0 +1,74 @@
+"""Run results: what one workload execution on one platform produced."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.complex import ComplexResult
+from repro.pecos.sng import GoReport, StopReport
+from repro.power.model import PowerReport
+
+__all__ = ["PowerFailOutcome", "RunResult"]
+
+
+@dataclass
+class RunResult:
+    """One workload execution on one platform."""
+
+    platform: str
+    workload: str
+    complex_result: ComplexResult
+    power: PowerReport
+    #: memory-subsystem facts gathered from the backend
+    backend_counters: dict[str, float] = field(default_factory=dict)
+    mean_read_latency_ns: float = 0.0
+    cache_read_hit: float = 0.0
+    cache_write_hit: float = 0.0
+    row_buffer_hit: float = 0.0
+
+    @property
+    def wall_ns(self) -> float:
+        return self.complex_result.wall_ns
+
+    @property
+    def ipc(self) -> float:
+        return self.complex_result.ipc
+
+    @property
+    def instructions(self) -> int:
+        return self.complex_result.instructions
+
+    @property
+    def energy_j(self) -> float:
+        return self.power.energy_j
+
+    @property
+    def total_w(self) -> float:
+        return self.power.total_w
+
+    def cycles(self, frequency_ghz: float = 1.6) -> float:
+        return self.wall_ns * frequency_ghz
+
+
+@dataclass
+class PowerFailOutcome:
+    """What happened when the AC dropped under a platform."""
+
+    platform: str
+    psu: str
+    holdup_ns: float
+    stop: Optional[StopReport] = None
+    go: Optional[GoReport] = None
+    survived: bool = False
+    #: state the platform lost (DRAM contents, pending lines, ...)
+    lost: str = ""
+
+    @property
+    def stop_ns(self) -> float:
+        return self.stop.total_ns if self.stop else 0.0
+
+    @property
+    def margin_ns(self) -> float:
+        """Slack between finishing Stop and the rails leaving spec."""
+        return self.holdup_ns - self.stop_ns

@@ -1,0 +1,19 @@
+"""Processor substrate: caches, core timing, multi-core complex."""
+
+from repro.cpu.cache import Cache, CacheConfig
+from repro.cpu.complex import ComplexResult, MultiCoreComplex
+from repro.cpu.core import Core, CoreConfig, CoreStats
+from repro.cpu.mmu import MMU, TLB, TLBConfig
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "ComplexResult",
+    "Core",
+    "CoreConfig",
+    "CoreStats",
+    "MMU",
+    "MultiCoreComplex",
+    "TLB",
+    "TLBConfig",
+]

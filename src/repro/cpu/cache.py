@@ -1,0 +1,138 @@
+"""Set-associative write-back data cache.
+
+Table I configures 16 KB I$/D$ per core on the prototype's RV64 cores.
+The D$ is modelled in full (it decides which accesses reach the memory
+subsystem and, crucially for the paper, which dirty lines must be flushed
+at the EP-cut).  Instruction fetch is folded into the core's base CPI —
+the evaluation's memory behaviour is data-side.
+
+Write policy is write-back/write-allocate: stores dirty a line, evicted
+dirty lines become memory writes, and :meth:`flush_dirty` (SnG's cache
+dump) returns every dirty line so the caller can charge per-line flush
+costs and write them to OC-PMEM.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.request import CACHELINE_BYTES
+from repro.sim.stats import RatioStat
+
+__all__ = ["Cache", "CacheConfig"]
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache."""
+
+    size_bytes: int = 16 * 1024
+    ways: int = 4
+    line_bytes: int = CACHELINE_BYTES
+    #: Hit service time in nanoseconds (L1 speed at the ASIC target).
+    hit_ns: float = 1.25
+
+    def __post_init__(self) -> None:
+        if self.size_bytes % (self.ways * self.line_bytes):
+            raise ValueError("cache size must divide into ways * line size")
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.ways * self.line_bytes)
+
+    @property
+    def lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+class Cache:
+    """One write-back cache with true-LRU replacement."""
+
+    def __init__(self, config: Optional[CacheConfig] = None, name: str = "d$") -> None:
+        self.config = config or CacheConfig()
+        self.name = name
+        # per-set OrderedDict: tag -> dirty flag, LRU at the front
+        self._sets: list[OrderedDict[int, bool]] = [
+            OrderedDict() for _ in range(self.config.sets)
+        ]
+        self.read_hits = RatioStat()
+        self.write_hits = RatioStat()
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        line = address // self.config.line_bytes
+        return line % self.config.sets, line // self.config.sets
+
+    def access(self, address: int, is_write: bool) -> tuple[bool, Optional[int]]:
+        """Look up (and allocate) a line.
+
+        Returns ``(hit, victim_address)`` where ``victim_address`` is the
+        base address of a dirty line evicted to make room, or None.
+        """
+        set_index, tag = self._locate(address)
+        ways = self._sets[set_index]
+        stats = self.write_hits if is_write else self.read_hits
+        victim_address: Optional[int] = None
+        if tag in ways:
+            dirty = ways.pop(tag)
+            ways[tag] = dirty or is_write
+            stats.record(True)
+            return True, None
+        stats.record(False)
+        if len(ways) >= self.config.ways:
+            victim_tag, victim_dirty = ways.popitem(last=False)
+            self.evictions += 1
+            if victim_dirty:
+                self.dirty_evictions += 1
+                victim_line = victim_tag * self.config.sets + set_index
+                victim_address = victim_line * self.config.line_bytes
+        ways[tag] = is_write
+        return False, victim_address
+
+    def dirty_lines(self) -> list[int]:
+        """Base addresses of all dirty lines (what a cache dump must write)."""
+        out = []
+        for set_index, ways in enumerate(self._sets):
+            for tag, dirty in ways.items():
+                if dirty:
+                    line = tag * self.config.sets + set_index
+                    out.append(line * self.config.line_bytes)
+        return out
+
+    def flush_dirty(self) -> list[int]:
+        """Write back every dirty line; returns their base addresses."""
+        flushed = self.dirty_lines()
+        for ways in self._sets:
+            for tag in list(ways):
+                ways[tag] = False
+        return flushed
+
+    def invalidate_all(self) -> None:
+        for ways in self._sets:
+            ways.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/eviction counters (contents stay resident) —
+        used to measure steady-state ratios after a warmup pass."""
+        self.read_hits = RatioStat()
+        self.write_hits = RatioStat()
+        self.evictions = 0
+        self.dirty_evictions = 0
+
+    def dirty_count(self) -> int:
+        return sum(1 for ways in self._sets for d in ways.values() if d)
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(ways) for ways in self._sets)
+
+    @property
+    def read_hit_ratio(self) -> float:
+        return self.read_hits.ratio
+
+    @property
+    def write_hit_ratio(self) -> float:
+        return self.write_hits.ratio

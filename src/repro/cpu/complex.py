@@ -1,0 +1,143 @@
+"""Multi-core complex: cores sharing one memory backend + an IPI fabric.
+
+Concurrent execution is simulated by always advancing the core with the
+smallest local clock, so backend contention (die occupancy, backpressure)
+is observed in a globally consistent time order — the property the
+OC-PMEM conflict experiments depend on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional, Sequence
+
+from repro.cpu.core import Core, CoreConfig, CoreStats
+from repro.pmem.modes import MemoryBackend, SoftwareOverhead
+
+__all__ = ["ComplexResult", "MultiCoreComplex"]
+
+
+@dataclass
+class ComplexResult:
+    """Aggregate outcome of running traces on the complex."""
+
+    wall_ns: float
+    per_core: list[CoreStats]
+    frequency_ghz: float
+
+    @property
+    def wall_cycles(self) -> float:
+        return self.wall_ns * self.frequency_ghz
+
+    @property
+    def instructions(self) -> int:
+        return sum(stats.instructions for stats in self.per_core)
+
+    @property
+    def ipc(self) -> float:
+        if self.wall_cycles <= 0:
+            return 0.0
+        return self.instructions / self.wall_cycles
+
+    @property
+    def read_stall_ns(self) -> float:
+        return sum(stats.read_stall_ns for stats in self.per_core)
+
+    @property
+    def memory_stall_fraction(self) -> float:
+        total = sum(stats.total_ns for stats in self.per_core)
+        if total <= 0:
+            return 0.0
+        stalls = sum(
+            stats.read_stall_ns + stats.write_stall_ns for stats in self.per_core
+        )
+        return stalls / total
+
+
+class MultiCoreComplex:
+    """N cores over a shared memory backend."""
+
+    def __init__(
+        self,
+        backend: MemoryBackend,
+        cores: int = 8,
+        core_config: Optional[CoreConfig] = None,
+        overhead: Optional[SoftwareOverhead] = None,
+    ) -> None:
+        if cores <= 0:
+            raise ValueError("need at least one core")
+        self.backend = backend
+        self.core_config = core_config or CoreConfig()
+        self.cores = [
+            Core(i, backend, self.core_config, overhead) for i in range(cores)
+        ]
+        self._ipi_handlers: dict[int, Callable[[int, object], None]] = {}
+
+    # -- workload execution ------------------------------------------------------
+
+    def run_traces(
+        self,
+        traces: Sequence[Iterable],
+        start_ns: float = 0.0,
+    ) -> ComplexResult:
+        """Execute one trace per thread, threads round-robin over cores.
+
+        Each trace yields records with ``instructions``, ``address``,
+        ``is_write`` attributes.  Cores advance in global-time order so
+        shared-backend contention is causally consistent.
+        """
+        iterators: list[tuple[Core, int, Iterator]] = []
+        for thread_id, trace in enumerate(traces):
+            core = self.cores[thread_id % len(self.cores)]
+            iterators.append((core, thread_id, iter(trace)))
+        for core in self.cores:
+            core.now = start_ns
+
+        # (core-local time, sequence) heap keyed on the owning core's clock.
+        heap: list[tuple[float, int]] = [
+            (entry[0].now, idx) for idx, entry in enumerate(iterators)
+        ]
+        heapq.heapify(heap)
+        while heap:
+            _, idx = heapq.heappop(heap)
+            core, thread_id, records = iterators[idx]
+            record = next(records, None)
+            if record is None:
+                continue
+            core.execute(
+                record.instructions, record.address, record.is_write, thread_id
+            )
+            heapq.heappush(heap, (core.now, idx))
+
+        wall = max((core.now for core in self.cores), default=start_ns)
+        return ComplexResult(
+            wall_ns=wall - start_ns,
+            per_core=[core.stats for core in self.cores],
+            frequency_ghz=self.core_config.frequency_ghz,
+        )
+
+    # -- SnG hooks ------------------------------------------------------------------
+
+    def dirty_line_counts(self) -> list[int]:
+        """Per-core dirty D$ lines (what an EP-cut cache dump must flush)."""
+        return [core.cache.dirty_count() for core in self.cores]
+
+    def flush_all_caches(self) -> int:
+        """Dump every core's cache; returns total lines written back."""
+        return sum(core.flush_cache()[0] for core in self.cores)
+
+    # -- IPI fabric --------------------------------------------------------------------
+
+    def register_ipi_handler(
+        self, core_id: int, handler: Callable[[int, object], None]
+    ) -> None:
+        if not 0 <= core_id < len(self.cores):
+            raise ValueError(f"no core {core_id}")
+        self._ipi_handlers[core_id] = handler
+
+    def send_ipi(self, source: int, target: int, payload: object = None) -> None:
+        handler = self._ipi_handlers.get(target)
+        if handler is None:
+            raise RuntimeError(f"core {target} has no IPI handler registered")
+        handler(source, payload)

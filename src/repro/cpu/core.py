@@ -1,0 +1,184 @@
+"""Core timing model: trace-driven execution with stall accounting.
+
+The prototype CPU is an octa-core out-of-order RV64 (SonicBOOM) at
+1.6 GHz (ASIC timing; 0.4 GHz on the FPGA).  The evaluation consumes
+cycles, IPC, and memory-stall breakdowns — not pipeline detail — so the
+core model is a calibrated accounting machine:
+
+* non-memory work advances time at ``base_cpi`` cycles per instruction;
+* D$ hits cost the cache hit time;
+* read misses stall the core for the memory latency minus an
+  out-of-order overlap window (MLP tolerance);
+* write misses are mostly absorbed by the store buffer — only a fraction
+  of the fill latency is exposed — and dirty evictions are posted writes
+  that stall only on backpressure;
+* the mode's software overhead (DAX/PMDK costs) is charged per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.cache import Cache, CacheConfig
+from repro.memory.request import MemoryOp, MemoryRequest
+from repro.pmem.modes import MemoryBackend, SoftwareOverhead
+
+__all__ = ["Core", "CoreConfig", "CoreStats"]
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Timing parameters of one core (Table I)."""
+
+    frequency_ghz: float = 1.6
+    #: CPI of non-memory work, I$ effects folded in.
+    base_cpi: float = 1.25
+    #: Miss latency the OoO window hides per read miss.
+    overlap_ns: float = 14.0
+    #: Fraction of a write-miss line fill exposed past the store buffer.
+    write_miss_expose: float = 0.3
+    cache: CacheConfig = CacheConfig()
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1.0 / self.frequency_ghz
+
+    def cycles(self, ns: float) -> float:
+        return ns / self.cycle_ns
+
+
+@dataclass
+class CoreStats:
+    """Cycle/stall accounting for one core."""
+
+    instructions: int = 0
+    reads: int = 0
+    writes: int = 0
+    compute_ns: float = 0.0
+    read_stall_ns: float = 0.0
+    write_stall_ns: float = 0.0
+    software_ns: float = 0.0
+    evictions: int = 0
+
+    @property
+    def total_ns(self) -> float:
+        return (
+            self.compute_ns + self.read_stall_ns + self.write_stall_ns
+            + self.software_ns
+        )
+
+    def ipc(self, frequency_ghz: float) -> float:
+        if self.total_ns <= 0:
+            return 0.0
+        cycles = self.total_ns * frequency_ghz
+        return self.instructions / cycles
+
+    def memory_stall_fraction(self) -> float:
+        total = self.total_ns
+        if total <= 0:
+            return 0.0
+        return (self.read_stall_ns + self.write_stall_ns) / total
+
+
+class Core:
+    """One core executing a memory-reference trace against a backend."""
+
+    def __init__(
+        self,
+        core_id: int,
+        backend: MemoryBackend,
+        config: Optional[CoreConfig] = None,
+        overhead: Optional[SoftwareOverhead] = None,
+    ) -> None:
+        self.core_id = core_id
+        self.config = config or CoreConfig()
+        self.backend = backend
+        self.overhead = overhead or SoftwareOverhead()
+        self.cache = Cache(self.config.cache, name=f"core{core_id}.d$")
+        self.stats = CoreStats()
+        self.now = 0.0
+        self._flush_debt = 0.0
+
+    def execute(self, instructions: int, address: int, is_write: bool,
+                thread_id: int = 0) -> float:
+        """Run ``instructions`` of compute then one memory access.
+
+        Returns the core-local time after the access completes.
+        """
+        cfg = self.config
+        if instructions:
+            compute = instructions * cfg.base_cpi * cfg.cycle_ns
+            self.now += compute
+            self.stats.compute_ns += compute
+            self.stats.instructions += instructions
+        self.stats.instructions += 1  # the memory instruction itself
+        if is_write:
+            self.stats.writes += 1
+            self._charge_software(self.overhead.write_cost())
+        else:
+            self.stats.reads += 1
+            self._charge_software(self.overhead.read_cost())
+
+        if is_write and self.overhead.extra_flush_writes > 0:
+            # pmem_persist-style flushes push the dirtied line straight to
+            # the memory subsystem (trans-mode's durable stores).
+            self._flush_debt += (
+                self.overhead.extra_flush_writes * self.overhead.coverage
+            )
+            while self._flush_debt >= 1.0:
+                self._flush_debt -= 1.0
+                self._write_back(address - address % 64, thread_id)
+
+        hit, victim = self.cache.access(address, is_write)
+        if hit:
+            self.now += cfg.cache.hit_ns
+            return self.now
+
+        # Miss: line fill from the backend.
+        response = self.backend.access(
+            MemoryRequest(
+                op=MemoryOp.READ, address=address, time=self.now,
+                thread_id=thread_id,
+            )
+        )
+        fill_latency = response.latency
+        if is_write:
+            exposed = max(0.0, fill_latency - cfg.overlap_ns)
+            stall = exposed * cfg.write_miss_expose
+            self.stats.write_stall_ns += stall
+        else:
+            stall = max(cfg.cache.hit_ns, fill_latency - cfg.overlap_ns)
+            self.stats.read_stall_ns += stall
+        self.now += stall
+
+        if victim is not None:
+            self._write_back(victim, thread_id)
+        return self.now
+
+    def _write_back(self, address: int, thread_id: int) -> None:
+        """Posted dirty-line write-back; stalls only on backpressure."""
+        self.stats.evictions += 1
+        response = self.backend.access(
+            MemoryRequest(
+                op=MemoryOp.WRITE, address=address, time=self.now,
+                thread_id=thread_id,
+            )
+        )
+        if response.blocked_ns > 0:
+            self.stats.write_stall_ns += response.blocked_ns
+            self.now += response.blocked_ns
+
+    def _charge_software(self, ns: float) -> None:
+        if ns > 0:
+            self.now += ns
+            self.stats.software_ns += ns
+
+    def flush_cache(self) -> tuple[int, list[int]]:
+        """Dump the D$: write back all dirty lines; returns (count, addrs)."""
+        dirty = self.cache.flush_dirty()
+        for address in dirty:
+            self.backend.access(
+                MemoryRequest(op=MemoryOp.WRITE, address=address, time=self.now)
+            )
+        return len(dirty), dirty

@@ -1,0 +1,117 @@
+"""MMU: TLB plus a hardware page-table walker.
+
+Go flushes every core's TLB before rescheduling (§IV-C) — the TLB is
+volatile state the EP-cut deliberately does *not* save, because the page
+tables it caches live in persistent memory and can simply be re-walked.
+The walker here issues real reads through the owning address space, so
+walk latency lands on whichever memory the tables live in (OC-PMEM for
+PecOS, DRAM for LegacyPC).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pecos.vm import AddressSpace, PAGE_BYTES, PageFault
+from repro.sim.stats import RatioStat
+
+__all__ = ["MMU", "TLB", "TLBConfig"]
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """Geometry and timing of one TLB."""
+
+    entries: int = 32
+    hit_ns: float = 0.6
+    #: charged per page-table level on a walk, on top of the memory reads
+    walk_step_ns: float = 2.0
+
+
+class TLB:
+    """Fully-associative, LRU, ASID-tagged translation cache."""
+
+    def __init__(self, config: Optional[TLBConfig] = None) -> None:
+        self.config = config or TLBConfig()
+        #: (asid, vpn) -> frame base
+        self._entries: OrderedDict[tuple[int, int], int] = OrderedDict()
+        self.stats = RatioStat()
+        self.flushes = 0
+
+    def lookup(self, asid: int, va: int) -> Optional[int]:
+        key = (asid, va // PAGE_BYTES)
+        frame = self._entries.get(key)
+        if frame is not None:
+            self._entries.move_to_end(key)
+            self.stats.record(True)
+            return frame | (va % PAGE_BYTES)
+        self.stats.record(False)
+        return None
+
+    def fill(self, asid: int, va: int, pa: int) -> None:
+        key = (asid, va // PAGE_BYTES)
+        if key not in self._entries and \
+                len(self._entries) >= self.config.entries:
+            self._entries.popitem(last=False)
+        self._entries[key] = pa & ~(PAGE_BYTES - 1)
+        self._entries.move_to_end(key)
+
+    def flush(self, asid: Optional[int] = None) -> int:
+        """Invalidate everything (or one ASID); returns entries dropped."""
+        self.flushes += 1
+        if asid is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
+        doomed = [k for k in self._entries if k[0] == asid]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.ratio
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+
+class MMU:
+    """Per-core MMU: TLB front, hardware walker behind.
+
+    ``translate`` returns ``(pa, cost_ns)`` where the cost covers the TLB
+    probe and, on a miss, the walk — whose memory reads were actually
+    issued against the address space's backend, so walk traffic shows up
+    in the memory subsystem's counters like any other reads.
+    """
+
+    LEVELS = 3
+
+    def __init__(self, config: Optional[TLBConfig] = None) -> None:
+        self.tlb = TLB(config)
+        self.walks = 0
+        self.faults = 0
+
+    def translate(self, space: AddressSpace, va: int,
+                  want: int = 0x2) -> tuple[int, float]:
+        cfg = self.tlb.config
+        cached = self.tlb.lookup(space.asid, va)
+        if cached is not None:
+            return cached, cfg.hit_ns
+        self.walks += 1
+        try:
+            pa = space.translate(va, want=want)
+        except PageFault:
+            self.faults += 1
+            raise
+        self.tlb.fill(space.asid, va, pa)
+        cost = cfg.hit_ns + self.LEVELS * cfg.walk_step_ns
+        return pa, cost
+
+    def context_switch(self, flush: bool = True) -> None:
+        """ASID-less designs flush on every switch; Go always flushes."""
+        if flush:
+            self.tlb.flush()

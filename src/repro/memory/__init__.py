@@ -1,0 +1,51 @@
+"""Memory device substrates: PRAM/DRAM media, row buffers, DRAM subsystem."""
+
+from repro.memory.device import (
+    DRAMDevice,
+    DRAMTiming,
+    DeviceBusyError,
+    PRAMDevice,
+    PRAMTiming,
+    SRAMBuffer,
+)
+from repro.memory.dram import DRAMConfig, DRAMSubsystem
+from repro.memory.request import (
+    CACHELINE_BYTES,
+    DRAM_DEVICE_BYTES,
+    PMEM_INTERNAL_BYTES,
+    PRAM_DEVICE_BYTES,
+    ROW_BYTES,
+    AddressSpaceError,
+    MemoryOp,
+    MemoryRequest,
+    MemoryResponse,
+    cacheline_of,
+    row_of,
+    split_cacheline,
+)
+from repro.memory.rowbuffer import OpenRowTracker, WriteAggregationBuffer
+
+__all__ = [
+    "AddressSpaceError",
+    "CACHELINE_BYTES",
+    "DRAMConfig",
+    "DRAMDevice",
+    "DRAMSubsystem",
+    "DRAMTiming",
+    "DRAM_DEVICE_BYTES",
+    "DeviceBusyError",
+    "MemoryOp",
+    "MemoryRequest",
+    "MemoryResponse",
+    "OpenRowTracker",
+    "PMEM_INTERNAL_BYTES",
+    "PRAMDevice",
+    "PRAMTiming",
+    "PRAM_DEVICE_BYTES",
+    "ROW_BYTES",
+    "SRAMBuffer",
+    "WriteAggregationBuffer",
+    "cacheline_of",
+    "row_of",
+    "split_cacheline",
+]

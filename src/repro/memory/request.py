@@ -1,0 +1,147 @@
+"""Memory request/response types and address-geometry helpers.
+
+Every memory model in the repository (DRAM subsystem, PMEM DIMM complex,
+OC-PMEM) consumes :class:`MemoryRequest` and produces
+:class:`MemoryResponse`.  Requests are 64 B cacheline-granular at the
+processor boundary, matching the paper's last-level-cache interface; the
+device models split them into device-granularity beats internally (8 B for
+DRAM devices, 32 B for PRAM devices — §V-B of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "CACHELINE_BYTES",
+    "DRAM_DEVICE_BYTES",
+    "PRAM_DEVICE_BYTES",
+    "PMEM_INTERNAL_BYTES",
+    "ROW_BYTES",
+    "AddressSpaceError",
+    "MemoryOp",
+    "MemoryRequest",
+    "MemoryResponse",
+    "cacheline_of",
+    "row_of",
+    "split_cacheline",
+]
+
+#: Cacheline size at the processor/memory boundary.
+CACHELINE_BYTES = 64
+#: Per-device input granularity of a DRAM bank (paper §V-B).
+DRAM_DEVICE_BYTES = 8
+#: Per-device input granularity of a PRAM die (paper §V-B, [58]).
+PRAM_DEVICE_BYTES = 32
+#: Physical access granularity of DIMM-level PRAM media inside Optane-like
+#: PMEM (the 256 B unit the LSQ write-combines to, paper §II-A).
+PMEM_INTERNAL_BYTES = 256
+#: Row/page size used by row buffers and the PMEM DIMM 4 KB buffering.
+ROW_BYTES = 4096
+
+
+class AddressSpaceError(ValueError):
+    """Raised when an address falls outside a device's capacity."""
+
+
+class MemoryOp(enum.Enum):
+    """Operation kinds at the memory boundary.
+
+    ``FLUSH`` and ``RESET`` map onto the PSM's flush/reset ports (§V-A);
+    conventional memories treat FLUSH as a drain barrier and reject RESET.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    FLUSH = "flush"
+    RESET = "reset"
+
+
+@dataclass
+class MemoryRequest:
+    """A single request presented to a memory subsystem.
+
+    ``time`` is the issue timestamp in the subsystem's clock domain
+    (nanoseconds throughout this repository).  ``data`` is optional: the
+    temporal path passes ``None`` and only timing is modelled; functional
+    tests (ECC recovery, PMDK pools, EP-cut replay) pass real bytes.
+    """
+
+    op: MemoryOp
+    address: int = 0
+    size: int = CACHELINE_BYTES
+    time: float = 0.0
+    data: Optional[bytes] = None
+    thread_id: int = 0
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.address < 0:
+            raise AddressSpaceError(f"negative address {self.address:#x}")
+        if self.size <= 0 and self.op in (MemoryOp.READ, MemoryOp.WRITE):
+            raise ValueError(f"non-positive size {self.size} for {self.op}")
+        if self.data is not None and len(self.data) != self.size:
+            raise ValueError(
+                f"data length {len(self.data)} != request size {self.size}"
+            )
+
+    @property
+    def is_read(self) -> bool:
+        return self.op is MemoryOp.READ
+
+    @property
+    def is_write(self) -> bool:
+        return self.op is MemoryOp.WRITE
+
+    @property
+    def end_address(self) -> int:
+        return self.address + self.size
+
+
+@dataclass
+class MemoryResponse:
+    """Completion record for a request.
+
+    ``complete_time`` is when the requester observes completion (for reads:
+    data arrival; for early-return writes: acceptance).  ``occupied_until``
+    is when the underlying media actually finishes — the gap between the two
+    is what early-return writes exploit and what a flush must wait out.
+    """
+
+    request: MemoryRequest
+    complete_time: float
+    occupied_until: float = 0.0
+    data: Optional[bytes] = None
+    reconstructed: bool = False
+    blocked_ns: float = 0.0
+    error_contained: bool = False
+
+    def __post_init__(self) -> None:
+        if self.occupied_until < self.complete_time:
+            self.occupied_until = self.complete_time
+
+    @property
+    def latency(self) -> float:
+        return self.complete_time - self.request.time
+
+
+def cacheline_of(address: int) -> int:
+    """Cacheline-aligned base address."""
+    return address & ~(CACHELINE_BYTES - 1)
+
+
+def row_of(address: int) -> int:
+    """Row (4 KB page) index of an address."""
+    return address // ROW_BYTES
+
+
+def split_cacheline(address: int, device_bytes: int) -> list[int]:
+    """Device-granularity beat addresses covering one cacheline.
+
+    >>> split_cacheline(0x80, 32)
+    [128, 160]
+    """
+    base = cacheline_of(address)
+    return [base + off for off in range(0, CACHELINE_BYTES, device_bytes)]

@@ -1,0 +1,145 @@
+"""Row-buffer models shared by the DRAM subsystem and the PSM.
+
+Two flavours exist:
+
+* :class:`OpenRowTracker` — the classic DRAM open-row policy: remembers the
+  open row per bank and classifies accesses as row hits or misses.
+* :class:`WriteAggregationBuffer` — the PSM's per-PRAM-die row buffer
+  (§V-A): it is *not* a cache; it only absorbs consecutive writes to the
+  page the processor just requested, removing the conflict latency of
+  multiple writes targeting a specific region.  Closing the buffer (a write
+  to a different page, or a flush) drains the aggregated dirty region to
+  the die in one programming operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.memory.request import ROW_BYTES
+from repro.sim.stats import RatioStat
+
+__all__ = ["OpenRowTracker", "WriteAggregationBuffer"]
+
+
+class OpenRowTracker:
+    """Open-row bookkeeping for a set of banks."""
+
+    def __init__(self, banks: int, row_bytes: int = ROW_BYTES) -> None:
+        if banks <= 0:
+            raise ValueError("need at least one bank")
+        self.row_bytes = row_bytes
+        self._open: list[Optional[int]] = [None] * banks
+        self.stats = RatioStat()
+
+    def row_of(self, address: int) -> int:
+        return address // self.row_bytes
+
+    def access(self, bank: int, address: int) -> bool:
+        """Record an access; returns True on a row hit."""
+        row = self.row_of(address)
+        hit = self._open[bank] == row
+        self._open[bank] = row
+        self.stats.record(hit)
+        return hit
+
+    def close_all(self) -> None:
+        self._open = [None] * len(self._open)
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.ratio
+
+
+@dataclass
+class _OpenPage:
+    page: int
+    dirty: set[int] = field(default_factory=set)  # dirty beat offsets
+    opened_at: float = 0.0
+
+
+class WriteAggregationBuffer:
+    """PSM per-die write row buffer (BRAM in the FPGA prototype).
+
+    Semantics (paper §V-A):
+
+    * a write to the currently open page is absorbed at buffer speed and
+      marks its beat dirty — no die programming occurs;
+    * a write to a different page closes the buffer: the dirty beats drain
+      to the die as one aggregated programming burst, then the new page
+      opens;
+    * a read for a dirty beat of the open page can be served from the
+      buffer (it holds the youngest data);
+    * ``flush`` closes the buffer unconditionally (the PSM flush port).
+    """
+
+    def __init__(self, page_bytes: int = ROW_BYTES, beat_bytes: int = 32,
+                 access_ns: float = 4.0) -> None:
+        self.page_bytes = page_bytes
+        self.beat_bytes = beat_bytes
+        self.access_ns = access_ns
+        self._open: Optional[_OpenPage] = None
+        self.stats = RatioStat()
+        self.drains = 0
+
+    def page_of(self, address: int) -> int:
+        return address // self.page_bytes
+
+    def beat_of(self, address: int) -> int:
+        return (address % self.page_bytes) // self.beat_bytes
+
+    def write(
+        self, time: float, address: int
+    ) -> tuple[bool, Optional[tuple[int, set[int]]]]:
+        """Record a write; returns (absorbed, closed_page_drain).
+
+        ``absorbed`` is True when the write hit the open page (no die
+        programming needed now).  ``closed_page_drain`` is a
+        ``(page, dirty_beats)`` pair for a page being closed, or None.
+        """
+        page = self.page_of(address)
+        beat = self.beat_of(address)
+        if self._open is not None and self._open.page == page:
+            self._open.dirty.add(beat)
+            self.stats.record(True)
+            return True, None
+        self.stats.record(False)
+        to_drain = self._close()
+        self._open = _OpenPage(page=page, dirty={beat}, opened_at=time)
+        return False, to_drain
+
+    def read_hit(self, address: int) -> bool:
+        """True if the open page holds the youngest copy of this beat."""
+        if self._open is None:
+            return False
+        return (
+            self._open.page == self.page_of(address)
+            and self.beat_of(address) in self._open.dirty
+        )
+
+    def _close(self) -> Optional[tuple[int, set[int]]]:
+        if self._open is None:
+            return None
+        page, dirty = self._open.page, self._open.dirty
+        self._open = None
+        if not dirty:
+            return None
+        self.drains += 1
+        return page, dirty
+
+    def flush(self) -> Optional[tuple[int, set[int]]]:
+        """Close the buffer (flush port); returns (page, dirty beats)."""
+        return self._close()
+
+    @property
+    def open_page(self) -> Optional[int]:
+        return self._open.page if self._open is not None else None
+
+    @property
+    def dirty_beats(self) -> int:
+        return len(self._open.dirty) if self._open is not None else 0
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.stats.ratio

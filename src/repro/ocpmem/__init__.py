@@ -1,0 +1,29 @@
+"""Open-channel PMEM: the paper's hardware contribution (PSM + Bare-NVDIMM)."""
+
+from repro.ocpmem.ecc import (
+    EccResult,
+    SymbolECC,
+    UncorrectableError,
+    XORCodec,
+    xor_bytes,
+)
+from repro.ocpmem.nvdimm import BareNVDIMM, DieSlot, Layout
+from repro.ocpmem.psm import PSM, MachineCheckError, PSMConfig
+from repro.ocpmem.wear import FeistelPermutation, StartGap, WearRegisters
+
+__all__ = [
+    "BareNVDIMM",
+    "DieSlot",
+    "EccResult",
+    "FeistelPermutation",
+    "Layout",
+    "MachineCheckError",
+    "PSM",
+    "PSMConfig",
+    "StartGap",
+    "SymbolECC",
+    "UncorrectableError",
+    "WearRegisters",
+    "XORCodec",
+    "xor_bytes",
+]

@@ -1,0 +1,172 @@
+"""Bare-metal PRAM DIMM channels (paper §V-B, Fig. 13).
+
+A Bare-NVDIMM is a rank of eight 32 B-granularity PRAM dies exposed to the
+PSM without any DIMM-side firmware or volatile cache.  Two channel layouts
+are modelled:
+
+* ``dual_channel`` (the paper's design) — every two dies share a chip
+  enable.  A 64 B cacheline is served by one group (2 x 32 B) while the
+  other three groups stay available (*intra-DIMM parallelism*).
+* ``dram_like`` (the strawman) — all eight dies share one CE, so the
+  default access unit is 256 B: every cacheline access enables the whole
+  rank, 64 B writes need read-modify of the 256 B unit, and requests
+  serialize behind one another.
+
+Data + parity co-location: each die slot stores a line's 32 B half
+*and* the line's 32 B XOR parity (P = half0 ^ half1).  Reading either die
+therefore yields enough to regenerate the other half in one combinational
+XOR — the PSM's non-blocking read-after-write service — and is why the
+Bare-NVDIMM provisions 2x capacity per line (Table I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Optional
+
+from repro.memory.device import PRAMDevice, PRAMTiming
+from repro.memory.request import CACHELINE_BYTES, PRAM_DEVICE_BYTES
+
+__all__ = ["BareNVDIMM", "DieSlot", "Layout"]
+
+Layout = Literal["dual_channel", "dram_like"]
+
+_DIES = 8
+_HALF = PRAM_DEVICE_BYTES          # 32 B data half per die
+_SLOT_BYTES = _HALF * 2            # half + co-located parity
+
+
+@dataclass(frozen=True)
+class DieSlot:
+    """One die's share of a cacheline: (die index, die-local byte address)."""
+
+    die: int
+    address: int
+
+
+class BareNVDIMM:
+    """One rank of eight bare PRAM dies with a selectable channel layout."""
+
+    def __init__(
+        self,
+        lines: int,
+        layout: Layout = "dual_channel",
+        timing: Optional[PRAMTiming] = None,
+        dimm_id: int = 0,
+    ) -> None:
+        if lines <= 0:
+            raise ValueError("need at least one cacheline of capacity")
+        if layout not in ("dual_channel", "dram_like"):
+            raise ValueError(f"unknown layout {layout!r}")
+        self.lines = lines
+        self.layout = layout
+        self.dimm_id = dimm_id
+        self.groups = 4 if layout == "dual_channel" else 1
+        self.dies_per_group = _DIES // self.groups
+        slots_per_die = -(-lines // self.groups)  # ceil
+        die_capacity = slots_per_die * _SLOT_BYTES
+        self.dies = [
+            PRAMDevice(die_capacity, timing, device_id=dimm_id * _DIES + i)
+            for i in range(_DIES)
+        ]
+        #: (die, address) slots whose media ECC reports containment —
+        #: injected by :meth:`corrupt_slot`, cleared by a fresh store.
+        self._corrupted: set[tuple[int, int]] = set()
+
+    # -- geometry ------------------------------------------------------------
+
+    def group_of(self, line: int) -> int:
+        self._check_line(line)
+        return line % self.groups
+
+    def slots_of(self, line: int) -> list[DieSlot]:
+        """The die slots a cacheline occupies under the active layout.
+
+        dual_channel: two dies of one group, each holding 32 B.
+        dram_like: all eight dies, each holding 8 B of the line but
+        enabled (and programmed) at their full 32 B granularity.
+        """
+        self._check_line(line)
+        group = line % self.groups
+        slot_index = line // self.groups
+        base = group * self.dies_per_group
+        return [
+            DieSlot(die=base + i, address=slot_index * _SLOT_BYTES)
+            for i in range(self.dies_per_group)
+        ]
+
+    def group_dies(self, group: int) -> list[PRAMDevice]:
+        if not 0 <= group < self.groups:
+            raise ValueError(f"group {group} outside [0, {self.groups})")
+        base = group * self.dies_per_group
+        return self.dies[base:base + self.dies_per_group]
+
+    def _check_line(self, line: int) -> None:
+        if not 0 <= line < self.lines:
+            raise ValueError(f"line {line} outside [0, {self.lines})")
+
+    # -- functional storage ----------------------------------------------------
+    #
+    # Functional contents only exist for the dual-channel layout (the
+    # shipped design); the strawman layout is timing-only.
+
+    def store_line(self, line: int, data: bytes) -> None:
+        """Store a 64 B line's halves + co-located parity, no timing."""
+        if len(data) != CACHELINE_BYTES:
+            raise ValueError("store_line expects a full cacheline")
+        if self.layout != "dual_channel":
+            raise ValueError("functional storage is dual_channel-only")
+        half0, half1 = data[:_HALF], data[_HALF:]
+        parity = bytes(a ^ b for a, b in zip(half0, half1))
+        slots = self.slots_of(line)
+        self.dies[slots[0].die].storage.write(slots[0].address, half0 + parity)
+        self.dies[slots[1].die].storage.write(slots[1].address, half1 + parity)
+        self._corrupted.discard((slots[0].die, slots[0].address))
+        self._corrupted.discard((slots[1].die, slots[1].address))
+
+    def load_slot(self, line: int, which: int) -> tuple[bytes, bytes]:
+        """(half, parity) stored on one die of the line's group."""
+        if self.layout != "dual_channel":
+            raise ValueError("functional storage is dual_channel-only")
+        slot = self.slots_of(line)[which]
+        raw = self.dies[slot.die].peek(slot.address, _SLOT_BYTES)
+        return raw[:_HALF], raw[_HALF:]
+
+    def corrupt_slot(self, line: int, which: int) -> None:
+        """Fault injection: flip bits in one die's copy of a line half.
+
+        The die's internal media ECC is modelled as detect-only for faults
+        of this size, so subsequent reads of the slot carry the error
+        containment bit (paper §V-A, Fig. 12b).
+        """
+        slot = self.slots_of(line)[which]
+        raw = bytearray(self.dies[slot.die].peek(slot.address, _SLOT_BYTES))
+        raw[0] ^= 0xFF
+        self.dies[slot.die].storage.write(slot.address, bytes(raw))
+        self._corrupted.add((slot.die, slot.address))
+
+    def is_corrupt(self, line: int, which: int) -> bool:
+        slot = self.slots_of(line)[which]
+        return (slot.die, slot.address) in self._corrupted
+
+    def wipe(self) -> None:
+        """Reset-port support: clear all media contents and fault state."""
+        for die in self.dies:
+            die.storage.wipe()
+            die.power_cycle()
+        self._corrupted.clear()
+
+    # -- timing helpers ---------------------------------------------------------
+
+    def drain(self, time: float) -> float:
+        return max([time] + [die.busy_until for die in self.dies])
+
+    def power_cycle(self) -> None:
+        for die in self.dies:
+            die.power_cycle()
+
+    def counters(self) -> dict[str, int]:
+        return {
+            "reads": sum(d.read_count for d in self.dies),
+            "writes": sum(d.write_count for d in self.dies),
+        }

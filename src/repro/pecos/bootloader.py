@@ -1,0 +1,111 @@
+"""Bootloader support: BCB, MEPC, and the Stop commit (paper §IV-B/C).
+
+Some machine-mode registers (IPI, power-down, security) are invisible
+even to the kernel, so Auto-Stop's final act raises an exception into the
+bootloader, which dumps them — together with the return address Go should
+re-execute from (the Machine Exception Program Counter) and a commit flag
+— into the Bootloader Control Block in OC-PMEM's reserved area.
+
+On power-up, Go *is* the bootloader: it checks the commit; if present, it
+restores the BCB and jumps to MEPC; otherwise it falls through to a cold
+``start_kernel``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["BCB", "Bootloader", "BootDecision", "MachineRegisters"]
+
+
+@dataclass(frozen=True)
+class MachineRegisters:
+    """Machine-mode register file only the bootloader may touch."""
+
+    mstatus: int = 0
+    mie: int = 0
+    mtvec: int = 0
+    pmp_checksum: int = 0
+    power_down_ctl: int = 0
+
+
+@dataclass(frozen=True)
+class BCB:
+    """Bootloader control block — the EP-cut's machine-level half."""
+
+    machine_registers: MachineRegisters
+    #: where kernel-side Go re-executes (machine exception PC)
+    mepc: int
+    #: per-core kernel task/stack pointers Go hands to the workers
+    cpu_up_task_pointers: tuple[int, ...]
+    wear_registers_blob: bytes = b""
+    committed: bool = False
+
+
+@dataclass(frozen=True)
+class BootDecision:
+    """What the bootloader decided at power-on."""
+
+    warm: bool
+    bcb: Optional[BCB] = None
+
+
+class Bootloader:
+    """Berkeley-bootloader stand-in with timing for its SnG duties."""
+
+    #: storing machine registers + MEPC to the BCB reserved area
+    BCB_STORE_NS = 180_000.0
+    #: the final commit write + cache dump + memory synchronization is
+    #: charged separately by Auto-Stop via the PSM flush port
+    COMMIT_STORE_NS = 45_000.0
+    #: loading and validating the BCB at power-up
+    BCB_LOAD_NS = 150_000.0
+
+    def __init__(self) -> None:
+        #: the OC-PMEM reserved area (survives power cycles)
+        self._reserved: Optional[BCB] = None
+        self.exception_entries = 0
+
+    # -- Stop side -----------------------------------------------------------
+
+    def enter_from_exception(self) -> None:
+        """System-level exception switches context from kernel to us."""
+        self.exception_entries += 1
+
+    def store_bcb(self, bcb: BCB) -> float:
+        """Persist machine registers + MEPC; returns the cost in ns."""
+        if bcb.committed:
+            raise ValueError("store the BCB first, commit separately")
+        self._reserved = bcb
+        return self.BCB_STORE_NS
+
+    def commit(self) -> float:
+        """Write the Stop commit — the EP-cut is now authoritative."""
+        if self._reserved is None:
+            raise RuntimeError("commit without a stored BCB")
+        self._reserved = BCB(
+            machine_registers=self._reserved.machine_registers,
+            mepc=self._reserved.mepc,
+            cpu_up_task_pointers=self._reserved.cpu_up_task_pointers,
+            wear_registers_blob=self._reserved.wear_registers_blob,
+            committed=True,
+        )
+        return self.COMMIT_STORE_NS
+
+    # -- Go side ---------------------------------------------------------------
+
+    def power_on(self) -> tuple[BootDecision, float]:
+        """Check the commit: warm recovery vs cold start_kernel."""
+        if self._reserved is not None and self._reserved.committed:
+            return BootDecision(warm=True, bcb=self._reserved), self.BCB_LOAD_NS
+        return BootDecision(warm=False), 0.0
+
+    def clear_commit(self) -> None:
+        """Go consumed the EP-cut; a second power-up must cold boot
+        unless a new Stop commits."""
+        self._reserved = None
+
+    @property
+    def has_commit(self) -> bool:
+        return self._reserved is not None and self._reserved.committed

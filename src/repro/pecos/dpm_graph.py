@@ -1,0 +1,72 @@
+"""Device dependency graphs for dpm ordering (§IV-B).
+
+"As there may be dependency among devices, SnG calls them in the order
+that dpm regulated."  The base :class:`DevicePMList` encodes that order
+as a flat integer; real systems derive it from a dependency DAG (a
+device must suspend before its parent bus, resume after it).  This
+module builds the flat order from explicit dependency edges:
+
+* ``(consumer, supplier)`` edges mean *consumer depends on supplier*
+  (e.g. ``eth0`` depends on ``pcie0``);
+* suspension must visit consumers before suppliers, resume the reverse —
+  i.e. suspend order is a reverse topological sort of the supplier graph;
+* cycles are configuration bugs and are rejected with the cycle printed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.pecos.device import DeviceDriver, DevicePMList
+
+__all__ = ["DependencyCycleError", "build_dpm_list", "suspend_order"]
+
+
+class DependencyCycleError(ValueError):
+    """The device dependency graph has a cycle."""
+
+
+def suspend_order(
+    drivers: Sequence[DeviceDriver],
+    dependencies: Iterable[tuple[str, str]],
+) -> list[str]:
+    """Suspend-safe visiting order (consumers before their suppliers).
+
+    ``dependencies`` holds (consumer, supplier) pairs.  Drivers not
+    mentioned in any edge keep their relative declaration order, after
+    all constrained drivers at the same depth.
+    """
+    by_name = {driver.name: driver for driver in drivers}
+    graph = nx.DiGraph()
+    graph.add_nodes_from(by_name)
+    for consumer, supplier in dependencies:
+        for name in (consumer, supplier):
+            if name not in by_name:
+                raise ValueError(f"dependency names unknown driver {name!r}")
+        # edge supplier -> consumer: supplier must still be up while the
+        # consumer suspends, so the consumer comes first
+        graph.add_edge(supplier, consumer)
+    try:
+        # reverse topological order of the supplier graph = consumers first
+        ordered = list(reversed(list(nx.lexicographical_topological_sort(
+            graph, key=lambda n: by_name[n].order))))
+    except nx.NetworkXUnfeasible:
+        cycle = nx.find_cycle(graph)
+        raise DependencyCycleError(
+            f"device dependency cycle: {' -> '.join(a for a, _ in cycle)}"
+        ) from None
+    return ordered
+
+
+def build_dpm_list(
+    drivers: Sequence[DeviceDriver],
+    dependencies: Iterable[tuple[str, str]] = (),
+) -> DevicePMList:
+    """A :class:`DevicePMList` whose order honours the dependency DAG."""
+    order = suspend_order(drivers, dependencies)
+    position = {name: index for index, name in enumerate(order)}
+    for driver in drivers:
+        driver.order = position[driver.name]
+    return DevicePMList(list(drivers))

@@ -1,0 +1,163 @@
+"""The PecOS kernel: init_task tree, process population, devices.
+
+This is the OS state SnG operates on.  The busy configuration of the
+paper's validation (§III-B) runs ~72 user and ~48 kernel processes on
+top of a full default driver population; :func:`Kernel.populate` builds
+that world.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pecos.bootloader import Bootloader
+from repro.pecos.device import default_dpm_list
+from repro.pecos.scheduler import Scheduler
+from repro.pecos.task import Registers, Task, TaskState, VMA, VMAKind
+
+__all__ = ["Kernel", "KernelConfig"]
+
+
+@dataclass(frozen=True)
+class KernelConfig:
+    """Shape of the OS world SnG must stop."""
+
+    cores: int = 8
+    user_processes: int = 72
+    kernel_threads: int = 48
+    #: fraction of tasks asleep at any instant (the rest are on queues)
+    sleeping_fraction: float = 0.6
+    #: default driver population (the prototype loads all default
+    #: packages; ~350 entries of dpm_list)
+    extra_drivers: int = 400
+    #: deterministic world-building seed
+    seed: int = 7
+
+
+class Kernel:
+    """Kernel state: task tree + scheduler + dpm list + bootloader."""
+
+    def __init__(self, config: Optional[KernelConfig] = None) -> None:
+        self.config = config or KernelConfig()
+        self.scheduler = Scheduler(self.config.cores)
+        self.dpm = default_dpm_list(self.config.extra_drivers)
+        self.bootloader = Bootloader()
+        self.init_task = Task(name="init", kernel_thread=True,
+                              state=TaskState.RUNNABLE)
+        #: system-wide atomic persistent flag Drive-to-Idle sets
+        self.persistent_flag = False
+        self._populated = False
+
+    # -- world building ----------------------------------------------------
+
+    def populate(self) -> None:
+        """Create the busy-configuration process population."""
+        if self._populated:
+            raise RuntimeError("kernel already populated")
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        for i in range(cfg.kernel_threads):
+            task = Task(name=f"kworker/{i}", kernel_thread=True)
+            task.registers = Registers(
+                pc=0x8000_0000 + i * 0x1000, sp=0x9000_0000 + i * 0x4000,
+                page_table_root=0,
+            )
+            self.init_task.adopt(task)
+        for i in range(cfg.user_processes):
+            task = Task(name=f"user{i:02d}")
+            task.registers = Registers(
+                pc=0x0001_0000 + i * 0x100, sp=0x7fff_0000 - i * 0x8000,
+                gpr_checksum=rng.getrandbits(32),
+                page_table_root=0x1_0000_0000 + i * 0x1000,
+            )
+            heap = rng.choice([1 << 16, 1 << 18, 1 << 20])
+            task.vmas = [
+                VMA(VMAKind.CODE, start=0x10000, length=1 << 16),
+                VMA(VMAKind.HEAP, start=0x4000_0000, length=heap,
+                    dirty_bytes=rng.randrange(heap // 4, heap)),
+                VMA(VMAKind.STACK, start=0x7fff_0000, length=1 << 14,
+                    dirty_bytes=rng.randrange(0, 1 << 14)),
+            ]
+            self.init_task.adopt(task)
+
+        # Scatter states: some running/runnable on queues, the rest asleep.
+        tasks = self.all_tasks()
+        rng.shuffle(tasks)
+        n_sleeping = int(len(tasks) * cfg.sleeping_fraction)
+        for task in tasks[:n_sleeping]:
+            task.state = TaskState.INTERRUPTIBLE
+            task.pending_work_items = rng.randrange(0, 3)
+        self.scheduler.enqueue_balanced(tasks[n_sleeping:])
+        self._populated = True
+
+    # -- queries -------------------------------------------------------------
+
+    def all_tasks(self) -> list[Task]:
+        """Every PCB reachable from init_task (excluding init itself)."""
+        return [t for t in self.init_task.walk() if t is not self.init_task]
+
+    def sleeping_tasks(self) -> list[Task]:
+        return [t for t in self.all_tasks() if t.is_sleeping]
+
+    def user_tasks(self) -> list[Task]:
+        return [t for t in self.all_tasks() if t.is_user]
+
+    def task_count(self) -> int:
+        return len(self.all_tasks())
+
+    def total_dirty_vma_bytes(self) -> int:
+        return sum(t.dirty_vma_bytes() for t in self.all_tasks())
+
+    def total_vma_bytes(self) -> int:
+        return sum(t.total_vma_bytes() for t in self.all_tasks())
+
+    # -- virtual memory integration (§IV-C) -----------------------------
+
+    def attach_address_spaces(self, backend, table_base: int,
+                              table_bytes: int = 1 << 22) -> int:
+        """Give every user task a real page table in ``backend`` memory.
+
+        Each task's VMAs are mapped at 4 KB granularity; the PCB's
+        ``page_table_root`` then points at a table that physically lives
+        in the backend — persistent on OC-PMEM, gone with DRAM — which is
+        exactly what lets Go "restore the virtual memory space" by just
+        reloading the root per process.  Returns the number of spaces
+        built.  Physical frames are assigned bump-style after the table
+        region (layout fidelity is not the point; persistence is).
+        """
+        from dataclasses import replace
+
+        from repro.pecos.vm import (
+            AddressSpace,
+            PAGE_BYTES,
+            PageFlags,
+            PageTableAllocator,
+        )
+
+        allocator = PageTableAllocator(
+            base=table_base, limit=table_base + table_bytes)
+        next_frame = table_base + table_bytes
+        self.address_spaces: dict[int, AddressSpace] = {}
+        for index, task in enumerate(self.user_tasks()):
+            space = AddressSpace(backend, allocator, asid=index + 1)
+            for vma in task.vmas:
+                length = ((vma.length + PAGE_BYTES - 1)
+                          // PAGE_BYTES) * PAGE_BYTES
+                space.map_range(vma.start, next_frame, length,
+                                flags=PageFlags.ALL)
+                next_frame += length
+            task.registers = replace(task.registers,
+                                     page_table_root=space.root)
+            self.address_spaces[task.pid] = space
+        return len(self.address_spaces)
+
+    def everything_locked_down(self) -> bool:
+        """Drive-to-Idle's postcondition: no task can change anything."""
+        return (
+            self.scheduler.runnable_count() == 0
+            and all(
+                t.state is TaskState.UNINTERRUPTIBLE for t in self.all_tasks()
+            )
+        )

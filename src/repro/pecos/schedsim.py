@@ -1,0 +1,186 @@
+"""A live, time-sliced kernel world: tasks that actually compute.
+
+The static :class:`repro.pecos.kernel.Kernel` world is enough to *price*
+SnG; this module makes the world run.  Tasks carry work (abstract units),
+a round-robin scheduler executes them in time slices on simulated cores,
+tasks sleep and wake, and a power event can land at any instant —
+mid-slice, mid-wakeup — after which Stop parks the world and Go resumes
+it.  The headline property (asserted in tests): **the total work
+completed across a power cycle equals the work a never-interrupted run
+completes**, i.e. the EP-cut loses nothing and duplicates nothing.
+
+Progress is stored in each task's PCB (``Registers.pc`` advances with
+work done), which is exactly the paper's §IV-C argument: PCBs on OC-PMEM
+carry the whole execution environment, so the kernel scheduler can
+simply run the task again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from repro.pecos.kernel import Kernel
+from repro.pecos.task import Registers, Task, TaskState
+
+__all__ = ["LiveWorld", "LiveTask", "WorldClock"]
+
+#: work units executed per nanosecond of slice time
+_WORK_RATE = 0.001
+
+
+@dataclass
+class LiveTask:
+    """A task with actual work to do; progress is persisted in its PCB."""
+
+    task: Task
+    total_work: int
+    #: after this much work, the task sleeps for ``sleep_ns``
+    sleep_every: int = 0
+    sleep_ns: float = 0.0
+    _sleeping_until: float = 0.0
+    _since_sleep: int = 0
+
+    @property
+    def done_work(self) -> int:
+        """Completed work lives in the PCB's program counter."""
+        return self.task.registers.pc
+
+    @property
+    def finished(self) -> bool:
+        return self.done_work >= self.total_work
+
+    def run_slice(self, now_ns: float, slice_ns: float) -> float:
+        """Execute up to one slice; returns time consumed."""
+        if self.finished:
+            return 0.0
+        budget = int(slice_ns * _WORK_RATE)
+        remaining = self.total_work - self.done_work
+        if self.sleep_every:
+            remaining = min(remaining, self.sleep_every - self._since_sleep)
+        work = max(1, min(budget, remaining))
+        self.task.save_registers(self.task.registers.advanced(work))
+        self._since_sleep += work
+        if (self.sleep_every and self._since_sleep >= self.sleep_every
+                and not self.finished):
+            self._since_sleep = 0
+            self._sleeping_until = now_ns + work / _WORK_RATE + self.sleep_ns
+            self.task.state = TaskState.INTERRUPTIBLE
+        return work / _WORK_RATE
+
+    def maybe_wake(self, now_ns: float) -> bool:
+        if (self.task.state is TaskState.INTERRUPTIBLE
+                and now_ns >= self._sleeping_until):
+            self.task.state = TaskState.RUNNABLE
+            return True
+        return False
+
+
+@dataclass
+class WorldClock:
+    """Wall-clock of the live world (survives Stop/Go via OC-PMEM)."""
+
+    now_ns: float = 0.0
+
+    def advance(self, delta_ns: float) -> None:
+        if delta_ns < 0:
+            raise ValueError("time flows forward")
+        self.now_ns += delta_ns
+
+
+class LiveWorld:
+    """Round-robin execution of live tasks over a kernel's cores."""
+
+    def __init__(self, kernel: Kernel, slice_ns: float = 4_000.0) -> None:
+        self.kernel = kernel
+        self.slice_ns = slice_ns
+        self.clock = WorldClock()
+        self.live: dict[int, LiveTask] = {}
+        self.slices_run = 0
+
+    # -- world building -----------------------------------------------------
+
+    def spawn(self, name: str, work: int, sleep_every: int = 0,
+              sleep_ns: float = 0.0) -> LiveTask:
+        """Create a runnable task carrying ``work`` units."""
+        task = Task(name=name)
+        task.registers = Registers(pc=0)
+        self.kernel.init_task.adopt(task)
+        live = LiveTask(task=task, total_work=work,
+                        sleep_every=sleep_every, sleep_ns=sleep_ns)
+        self.live[task.pid] = live
+        self.kernel.scheduler.enqueue_balanced([task])
+        return live
+
+    # -- execution -------------------------------------------------------------
+
+    def _runnable(self) -> list[LiveTask]:
+        return [
+            lt for lt in self.live.values()
+            if lt.task.state is TaskState.RUNNABLE and not lt.finished
+        ]
+
+    def run_for(self, duration_ns: float) -> int:
+        """Advance the world; returns work completed in the window."""
+        deadline = self.clock.now_ns + duration_ns
+        before = self.total_done()
+        stalled_rounds = 0
+        while self.clock.now_ns < deadline:
+            for live in self.live.values():
+                live.maybe_wake(self.clock.now_ns)
+            runnable = self._runnable()
+            if not runnable:
+                if all(lt.finished for lt in self.live.values()):
+                    break
+                self.clock.advance(self.slice_ns)  # idle tick
+                stalled_rounds += 1
+                if stalled_rounds > 1_000_000:
+                    raise RuntimeError("world wedged: nothing ever wakes")
+                continue
+            stalled_rounds = 0
+            # one scheduling round: each core runs one slice round-robin
+            cores = self.kernel.config.cores
+            consumed = 0.0
+            for live in runnable[:cores]:
+                live.task.state = TaskState.RUNNING
+                consumed = max(
+                    consumed,
+                    live.run_slice(self.clock.now_ns, self.slice_ns),
+                )
+                if live.task.state is TaskState.RUNNING:
+                    live.task.state = TaskState.RUNNABLE
+                self.slices_run += 1
+            self.clock.advance(max(consumed, 1.0))
+        return self.total_done() - before
+
+    def run_to_completion(self, max_ns: float = 1e12) -> int:
+        done = self.run_for(max_ns)
+        if not self.all_finished():
+            raise RuntimeError("work remained after max_ns")
+        return done
+
+    # -- queries --------------------------------------------------------------------
+
+    def total_done(self) -> int:
+        return sum(lt.done_work for lt in self.live.values())
+
+    def total_work(self) -> int:
+        return sum(lt.total_work for lt in self.live.values())
+
+    def all_finished(self) -> bool:
+        return all(lt.finished for lt in self.live.values())
+
+    def snapshot_progress(self) -> dict[int, int]:
+        return {pid: lt.done_work for pid, lt in self.live.items()}
+
+    # -- Stop/Go interplay -------------------------------------------------------------
+
+    def prepare_for_stop(self) -> None:
+        """A power event mid-run: sleeping live tasks will be woken and
+        parked by Drive-to-Idle like any other task; nothing to do here —
+        progress already lives in the PCBs."""
+
+    def resume_after_go(self) -> None:
+        """Go re-enqueued every task as RUNNABLE; sleepers whose timer
+        already elapsed across the outage just run."""
+        for live in self.live.values():
+            live._sleeping_until = min(live._sleeping_until,
+                                       self.clock.now_ns)

@@ -1,0 +1,228 @@
+"""Event-driven Stop: SnG's phases as interacting simulator processes.
+
+:class:`repro.pecos.sng.SnG` computes Stop's latency compositionally
+(parallel worker timelines folded with ``max``).  This module executes
+the same protocol as *actual concurrent processes* on the discrete-event
+engine — a master process raising IPIs, worker processes parking tasks
+and dumping caches, the dpm chain as timed callbacks — and reports where
+the simulated clock actually lands.
+
+Its purpose is validation: the closed-form and the event-driven run must
+agree (the tests hold them within a few percent), which guards the
+closed-form against ordering mistakes (e.g. accidentally serializing
+work the protocol does in parallel) whenever the timing model changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.pecos.kernel import Kernel
+from repro.pecos.scheduler import balance_assign
+from repro.pecos.sng import SnGTiming
+from repro.pecos.interrupt import IPI_LATENCY_NS
+from repro.sim.engine import Event, Simulator
+
+__all__ = ["EventGoReport", "EventStopReport", "run_event_driven_go",
+           "run_event_driven_stop"]
+
+
+@dataclass
+class EventStopReport:
+    """Phase boundaries observed on the simulated clock."""
+
+    process_stop_ns: float
+    device_stop_ns: float
+    offline_ns: float
+    ipis: int
+
+    @property
+    def total_ns(self) -> float:
+        return self.process_stop_ns + self.device_stop_ns + self.offline_ns
+
+    @property
+    def total_ms(self) -> float:
+        return self.total_ns / 1e6
+
+
+def run_event_driven_stop(
+    kernel: Kernel,
+    dirty_lines: list[int],
+    timing: Optional[SnGTiming] = None,
+    flush_ns: float = 2_000.0,
+    master: int = 0,
+) -> EventStopReport:
+    """Execute Stop as simulator processes; returns measured phase times.
+
+    The kernel world is treated read-only (task states are not mutated) —
+    this is a timing validator, not a second implementation of the state
+    machine.
+    """
+    t = timing or SnGTiming()
+    cores = kernel.config.cores
+    if len(dirty_lines) != cores:
+        raise ValueError(f"need {cores} dirty-line counts")
+    sim = Simulator()
+    ipis = 0
+
+    # ---- phase 1: Drive-to-Idle as master + worker processes -------------
+    tasks = kernel.all_tasks()
+    sleeping = [task for task in tasks if task.is_sleeping]
+    on_queues = {
+        queue.cpu: list(queue.tasks()) for queue in kernel.scheduler.run_queues
+    }
+    assignments = balance_assign(sleeping, cores)
+
+    def worker_park(cpu: int):
+        for task in assignments[cpu]:
+            yield sim.timeout(
+                t.task_wake_ns + t.task_park_ns
+                + task.pending_work_items * t.pending_work_ns
+            )
+        for _task in on_queues.get(cpu, []):
+            yield sim.timeout(t.task_park_ns)
+
+    def drive_to_idle():
+        nonlocal ipis
+        # master traverses every PCB, masking and assigning as it goes
+        yield sim.timeout(len(tasks) * t.pcb_visit_ns)
+        workers = []
+        for cpu in range(cores):
+            if assignments[cpu] or on_queues.get(cpu):
+                ipis += 1
+                workers.append(sim.process(worker_park(cpu),
+                                           name=f"park@cpu{cpu}"))
+        for worker in workers:
+            yield worker
+        yield sim.timeout(t.idle_place_ns)
+
+    phase1 = sim.process(drive_to_idle(), name="drive-to-idle")
+    sim.run(until_event=phase1)
+    process_stop_end = sim.now
+
+    # ---- phase 2: Auto-Stop device stop (serialized dpm walk) -------------
+
+    def device_stop():
+        for driver in kernel.dpm.drivers:
+            yield sim.timeout(driver.prepare_ns)
+        for driver in kernel.dpm.drivers:
+            cost = driver.suspend_ns * (1.5 if driver.manual else 1.0)
+            yield sim.timeout(cost)
+        for driver in kernel.dpm.drivers:
+            yield sim.timeout(driver.suspend_noirq_ns)
+            yield sim.timeout(driver.mmio_bytes * t.mmio_dump_ns_per_byte)
+        # the master dumps its own cache after writing the DCBs
+        yield sim.timeout(dirty_lines[master] * t.cacheline_flush_ns)
+
+    phase2 = sim.process(device_stop(), name="device-stop")
+    sim.run(until_event=phase2)
+    device_stop_end = sim.now
+
+    # ---- phase 3: offline — serialized IPI chain, concurrent dumps --------
+    dumps: list[Event] = []
+
+    def worker_dump(cpu: int):
+        yield sim.timeout(dirty_lines[cpu] * t.cacheline_flush_ns)
+
+    def offline():
+        nonlocal ipis
+        for cpu in range(cores):
+            if cpu == master:
+                continue
+            ipis += 1
+            yield sim.timeout(IPI_LATENCY_NS)
+            dumps.append(sim.process(worker_dump(cpu), name=f"dump@cpu{cpu}"))
+            yield sim.timeout(t.core_offline_ns)  # ready-report handshake
+        for dump in dumps:
+            yield dump
+        yield sim.timeout(kernel.bootloader.BCB_STORE_NS)
+        yield sim.timeout(kernel.bootloader.COMMIT_STORE_NS)
+        yield sim.timeout(flush_ns)  # PSM flush port
+        yield sim.timeout(t.core_offline_ns)  # the master goes last
+
+    phase3 = sim.process(offline(), name="offline")
+    sim.run(until_event=phase3)
+
+    return EventStopReport(
+        process_stop_ns=process_stop_end,
+        device_stop_ns=device_stop_end - process_stop_end,
+        offline_ns=sim.now - device_stop_end,
+        ipis=ipis,
+    )
+
+
+@dataclass
+class EventGoReport:
+    """Go's phase boundaries on the simulated clock."""
+
+    bcb_restore_ns: float
+    core_online_ns: float
+    device_resume_ns: float
+    reschedule_ns: float
+
+    @property
+    def total_ns(self) -> float:
+        return (self.bcb_restore_ns + self.core_online_ns
+                + self.device_resume_ns + self.reschedule_ns)
+
+
+def run_event_driven_go(
+    kernel: Kernel,
+    timing: Optional[SnGTiming] = None,
+) -> EventGoReport:
+    """Execute Go as simulator processes; returns measured phase times.
+
+    Like :func:`run_event_driven_stop`, a timing validator: the bootloader
+    check, the one-by-one worker power-up, the inverse-order dpm resume,
+    and the reschedule pass run as processes, and the phase boundaries
+    must agree with :meth:`repro.pecos.sng.SnG.go`'s closed form.
+    """
+    t = timing or SnGTiming()
+    cores = kernel.config.cores
+    sim = Simulator()
+
+    def bcb_restore():
+        yield sim.timeout(kernel.bootloader.BCB_LOAD_NS)
+
+    phase0 = sim.process(bcb_restore(), name="bcb-restore")
+    sim.run(until_event=phase0)
+    bcb_end = sim.now
+
+    def power_up():
+        for _cpu in range(cores - 1):
+            yield sim.timeout(t.core_online_ns + IPI_LATENCY_NS)
+        yield sim.timeout(t.core_online_ns)  # the master reconfigures last
+
+    phase1 = sim.process(power_up(), name="power-up")
+    sim.run(until_event=phase1)
+    online_end = sim.now
+
+    def device_resume():
+        for driver in reversed(kernel.dpm.drivers):
+            yield sim.timeout(driver.resume_noirq_ns)
+        for driver in reversed(kernel.dpm.drivers):
+            yield sim.timeout(driver.resume_ns)
+        for driver in reversed(kernel.dpm.drivers):
+            yield sim.timeout(driver.complete_ns)
+        mmio = sum(d.mmio_bytes for d in kernel.dpm.drivers)
+        yield sim.timeout(mmio * t.mmio_dump_ns_per_byte)
+
+    phase2 = sim.process(device_resume(), name="device-resume")
+    sim.run(until_event=phase2)
+    resume_end = sim.now
+
+    def reschedule():
+        yield sim.timeout(cores * t.tlb_flush_ns)
+        for _task in kernel.all_tasks():
+            yield sim.timeout(t.task_resched_ns)
+
+    phase3 = sim.process(reschedule(), name="reschedule")
+    sim.run(until_event=phase3)
+
+    return EventGoReport(
+        bcb_restore_ns=bcb_end,
+        core_online_ns=online_end - bcb_end,
+        device_resume_ns=resume_end - online_end,
+        reschedule_ns=sim.now - resume_end,
+    )

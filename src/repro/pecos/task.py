@@ -1,0 +1,157 @@
+"""Process control blocks — PecOS's task_struct model.
+
+Drive-to-Idle (paper §IV-A) manipulates exactly this state: task states
+(TASK_RUNNING/UNINTERRUPTIBLE/...), the TIF_SIGPENDING flag used to fake
+signals into user tasks, the need_resched flag that forces a context
+switch out, and the saved architectural registers (including the page
+table root) that Go later reloads so processes resume at the EP-cut.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Iterator, Optional
+
+__all__ = ["Registers", "Task", "TaskFlags", "TaskState", "VMA", "VMAKind"]
+
+_pid_counter = itertools.count(1)
+
+
+class TaskState(enum.Enum):
+    """Linux-style task states (the subset SnG manipulates)."""
+
+    RUNNING = "R"            # on a CPU
+    RUNNABLE = "r"           # on a run queue
+    INTERRUPTIBLE = "S"      # sleeping, wakeable by signal
+    UNINTERRUPTIBLE = "D"    # sleeping, immune to signals (SnG's lockdown)
+    STOPPED = "T"
+    ZOMBIE = "Z"
+
+
+class TaskFlags(enum.IntFlag):
+    """thread_info flags SnG uses."""
+
+    NONE = 0
+    SIGPENDING = 1      # TIF_SIGPENDING: fake signal mask
+    NEED_RESCHED = 2    # set_tsk_need_resched()
+    KERNEL_THREAD = 4
+
+
+class VMAKind(enum.Enum):
+    CODE = "code"
+    HEAP = "heap"
+    STACK = "stack"
+    MMAP = "mmap"
+
+
+@dataclass
+class VMA:
+    """One vm_area_struct: a virtual range with dirty-byte accounting.
+
+    S-CheckPC dumps these periodically; SysPC dumps them all at the power
+    signal; under LightPC they already live on OC-PMEM.
+    """
+
+    kind: VMAKind
+    start: int
+    length: int
+    dirty_bytes: int = 0
+
+    def touch(self, nbytes: int) -> None:
+        self.dirty_bytes = min(self.length, self.dirty_bytes + nbytes)
+
+    def clean(self) -> int:
+        """Mark written-back; returns how many bytes were dumped."""
+        dumped, self.dirty_bytes = self.dirty_bytes, 0
+        return dumped
+
+
+@dataclass(frozen=True)
+class Registers:
+    """Architectural state saved into the PCB at a context switch."""
+
+    pc: int = 0
+    sp: int = 0
+    gpr_checksum: int = 0
+    page_table_root: int = 0
+
+    def advanced(self, delta_pc: int) -> "Registers":
+        return replace(self, pc=self.pc + delta_pc)
+
+
+@dataclass
+class Task:
+    """A process control block (task_struct)."""
+
+    name: str
+    kernel_thread: bool = False
+    state: TaskState = TaskState.RUNNABLE
+    flags: TaskFlags = TaskFlags.NONE
+    registers: Registers = field(default_factory=Registers)
+    vmas: list[VMA] = field(default_factory=list)
+    pid: int = field(default_factory=lambda: next(_pid_counter))
+    parent: Optional["Task"] = None
+    children: list["Task"] = field(default_factory=list)
+    #: core whose run queue currently owns the task, if any
+    cpu: Optional[int] = None
+    #: pending wakeup work a sleeping task must handle before idling
+    pending_work_items: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kernel_thread:
+            self.flags |= TaskFlags.KERNEL_THREAD
+
+    # -- tree -------------------------------------------------------------
+
+    def adopt(self, child: "Task") -> "Task":
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def walk(self) -> Iterator["Task"]:
+        """Depth-first traversal from this task (init_task style)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    # -- state transitions used by SnG --------------------------------------
+
+    @property
+    def is_sleeping(self) -> bool:
+        return self.state in (TaskState.INTERRUPTIBLE, TaskState.UNINTERRUPTIBLE)
+
+    @property
+    def is_user(self) -> bool:
+        return not self.kernel_thread
+
+    def set_sigpending(self) -> None:
+        self.flags |= TaskFlags.SIGPENDING
+
+    def set_need_resched(self) -> None:
+        self.flags |= TaskFlags.NEED_RESCHED
+
+    def lockdown(self) -> None:
+        """Drive-to-Idle terminal state: uninterruptible, off any queue."""
+        self.state = TaskState.UNINTERRUPTIBLE
+        self.flags &= ~TaskFlags.NEED_RESCHED
+        self.cpu = None
+
+    def release(self) -> None:
+        """Go: TASK_UNINTERRUPTIBLE -> TASK_NORMAL (runnable)."""
+        if self.state is not TaskState.UNINTERRUPTIBLE:
+            raise RuntimeError(
+                f"release() on task {self.name!r} in state {self.state}"
+            )
+        self.state = TaskState.RUNNABLE
+        self.flags &= ~TaskFlags.SIGPENDING
+
+    def save_registers(self, registers: Registers) -> None:
+        self.registers = registers
+
+    def total_vma_bytes(self) -> int:
+        return sum(v.length for v in self.vmas)
+
+    def dirty_vma_bytes(self) -> int:
+        return sum(v.dirty_bytes for v in self.vmas)

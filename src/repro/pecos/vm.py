@@ -1,0 +1,195 @@
+"""Virtual memory: Sv39-style page tables living in simulated memory.
+
+Go's final act is to "restore the virtual memory space and flush TLB" so
+rescheduled tasks resume with their exact address spaces (§IV-C): the
+PCB's page-table root pointer is all the kernel needs *because the page
+tables themselves live in OC-PMEM* and survive power loss.  On LegacyPC
+the same tables live in DRAM and are gone — one concrete reason SysPC
+must dump whole system images.
+
+The model is functional: :class:`AddressSpace` builds a real three-level
+radix page table out of 512-entry nodes stored as bytes in whatever
+memory backend it is given (the PSM or the DRAM subsystem), and
+:meth:`translate` performs the actual walk, reading each level back from
+the backend.  Kill the power and the walk either still works (OC-PMEM)
+or faults on a zeroed node (DRAM) — which the tests assert.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.memory.request import MemoryOp, MemoryRequest
+
+__all__ = [
+    "AddressSpace",
+    "PAGE_BYTES",
+    "PageFault",
+    "PageFlags",
+    "PageTableAllocator",
+]
+
+PAGE_BYTES = 4096
+_LEVELS = 3
+_INDEX_BITS = 9
+_ENTRIES = 1 << _INDEX_BITS          # 512 PTEs per node
+_PTE = struct.Struct("<Q")
+_PTE_BYTES = _PTE.size
+#: PTE layout: bit 0 = valid, bits 1-3 = flags, bits 12+ = frame address
+_VALID = 0x1
+
+
+class PageFault(Exception):
+    """Translation failed: no valid mapping for the address."""
+
+    def __init__(self, va: int, reason: str) -> None:
+        super().__init__(f"page fault at VA {va:#x}: {reason}")
+        self.va = va
+        self.reason = reason
+
+
+class PageFlags:
+    """PTE permission bits (subset)."""
+
+    READ = 0x2
+    WRITE = 0x4
+    EXEC = 0x8
+    ALL = READ | WRITE | EXEC
+
+
+class _Backend(Protocol):
+    def access(self, request: MemoryRequest): ...
+
+
+@dataclass
+class PageTableAllocator:
+    """Bump allocator for page-table nodes inside a backend's space.
+
+    The kernel reserves a physical region for page tables; nodes are
+    PAGE_BYTES-aligned frames from it.
+    """
+
+    base: int
+    limit: int
+    _next: int = -1
+
+    def __post_init__(self) -> None:
+        if self.base % PAGE_BYTES:
+            raise ValueError("allocator base must be page-aligned")
+        if self._next < 0:
+            self._next = self.base
+
+    def alloc_node(self) -> int:
+        if self._next + PAGE_BYTES > self.limit:
+            raise MemoryError("page-table region exhausted")
+        frame = self._next
+        self._next += PAGE_BYTES
+        return frame
+
+
+class AddressSpace:
+    """One process's three-level page table, stored in backend memory."""
+
+    def __init__(
+        self,
+        backend: _Backend,
+        allocator: PageTableAllocator,
+        asid: int = 0,
+    ) -> None:
+        self.backend = backend
+        self.allocator = allocator
+        self.asid = asid
+        self.root = allocator.alloc_node()
+        self._zero_node(self.root)
+        self.mapped_pages = 0
+
+    # -- raw PTE I/O through the backend -------------------------------------
+
+    def _zero_node(self, node: int) -> None:
+        for offset in range(0, PAGE_BYTES, 64):
+            self.backend.access(MemoryRequest(
+                MemoryOp.WRITE, address=node + offset, size=64,
+                data=bytes(64), time=0.0,
+            ))
+
+    def _read_pte(self, node: int, index: int) -> int:
+        line = node + (index * _PTE_BYTES // 64) * 64
+        response = self.backend.access(MemoryRequest(
+            MemoryOp.READ, address=line, size=64, time=0.0))
+        if response.data is None:
+            raise PageFault(0, "page-table memory returned no data "
+                               "(backend not functional?)")
+        offset = (index * _PTE_BYTES) % 64
+        return _PTE.unpack_from(response.data, offset)[0]
+
+    def _write_pte(self, node: int, index: int, value: int) -> None:
+        line = node + (index * _PTE_BYTES // 64) * 64
+        response = self.backend.access(MemoryRequest(
+            MemoryOp.READ, address=line, size=64, time=0.0))
+        image = bytearray(response.data or bytes(64))
+        _PTE.pack_into(image, (index * _PTE_BYTES) % 64, value)
+        self.backend.access(MemoryRequest(
+            MemoryOp.WRITE, address=line, size=64, data=bytes(image),
+            time=0.0))
+
+    # -- mapping ---------------------------------------------------------------
+
+    @staticmethod
+    def _indices(va: int) -> tuple[int, ...]:
+        vpn = va // PAGE_BYTES
+        out = []
+        for level in reversed(range(_LEVELS)):
+            out.append((vpn >> (level * _INDEX_BITS)) & (_ENTRIES - 1))
+        return tuple(out)
+
+    def map(self, va: int, pa: int, flags: int = PageFlags.READ | PageFlags.WRITE) -> None:
+        """Install a 4 KB mapping va -> pa."""
+        if va % PAGE_BYTES or pa % PAGE_BYTES:
+            raise ValueError("va and pa must be page-aligned")
+        node = self.root
+        indices = self._indices(va)
+        for index in indices[:-1]:
+            pte = self._read_pte(node, index)
+            if pte & _VALID:
+                node = pte & ~0xFFF
+            else:
+                child = self.allocator.alloc_node()
+                self._zero_node(child)
+                self._write_pte(node, index, child | _VALID)
+                node = child
+        self._write_pte(node, indices[-1], pa | flags | _VALID)
+        self.mapped_pages += 1
+
+    def translate(self, va: int, *, want: int = PageFlags.READ) -> int:
+        """Walk the table (reading each level from memory); returns PA."""
+        node = self.root
+        indices = self._indices(va)
+        for depth, index in enumerate(indices):
+            pte = self._read_pte(node, index)
+            if not pte & _VALID:
+                raise PageFault(va, f"invalid PTE at level {depth}")
+            if depth == _LEVELS - 1:
+                if want and not pte & want:
+                    raise PageFault(va, "permission denied")
+                return (pte & ~0xFFF) | (va % PAGE_BYTES)
+            node = pte & ~0xFFF
+        raise AssertionError("unreachable")
+
+    def unmap(self, va: int) -> None:
+        """Invalidate a mapping (leaf PTE only; nodes are not reclaimed)."""
+        node = self.root
+        indices = self._indices(va)
+        for index in indices[:-1]:
+            pte = self._read_pte(node, index)
+            if not pte & _VALID:
+                raise PageFault(va, "unmap of unmapped address")
+            node = pte & ~0xFFF
+        self._write_pte(node, indices[-1], 0)
+        self.mapped_pages -= 1
+
+    def map_range(self, va: int, pa: int, length: int,
+                  flags: int = PageFlags.ALL) -> None:
+        for offset in range(0, length, PAGE_BYTES):
+            self.map(va + offset, pa + offset, flags)

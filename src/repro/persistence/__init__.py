@@ -1,0 +1,23 @@
+"""Persistence mechanisms: SnG plus the LegacyPC baselines of §VI."""
+
+from repro.persistence.acheckpc import ACheckPC
+from repro.persistence.base import (
+    OCPMEM_BULK_WRITE_BW,
+    ExecutionProfile,
+    PersistenceMechanism,
+    PersistenceOutcome,
+)
+from repro.persistence.lightpc import LightPCSnG
+from repro.persistence.scheckpc import SCheckPC
+from repro.persistence.syspc import SysPC
+
+__all__ = [
+    "ACheckPC",
+    "ExecutionProfile",
+    "LightPCSnG",
+    "OCPMEM_BULK_WRITE_BW",
+    "PersistenceMechanism",
+    "PersistenceOutcome",
+    "SCheckPC",
+    "SysPC",
+]

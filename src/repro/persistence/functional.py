@@ -1,0 +1,225 @@
+"""Functional checkpoint substrates: real bytes into OC-PMEM.
+
+The cost models in :mod:`repro.persistence` price the baselines; this
+module *implements* them, so crash tests can verify what each mechanism
+actually saves and loses:
+
+* :class:`CheckpointArea` — a reserved OC-PMEM region holding checkpoint
+  records (a tiny append-only object format with a commit marker).
+* :class:`ApplicationCheckpointer` (A-CheckPC) — saves selected
+  stack/heap buffers at call boundaries; restart recovers the last
+  *committed* record, everything after it is lost.
+* :class:`SystemCheckpointer` (S-CheckPC, BLCR-style) — dumps a task's
+  dirty VMA pages each period; restart rebuilds the VMA images but the
+  kernel itself cold-boots (the paper's reason these mechanisms cannot
+  match SnG).
+* :class:`SystemImager` (SysPC) — whole-image dump/load of a byte
+  region, all-or-nothing behind a commit marker.
+
+All three write through any functional memory backend (normally the PSM)
+and honour its volatility rules: records are durable only after the
+backend's flush port has run.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from typing import Optional, Protocol
+
+from repro.memory.request import MemoryOp, MemoryRequest
+
+__all__ = [
+    "ApplicationCheckpointer",
+    "CheckpointArea",
+    "CheckpointError",
+    "SystemCheckpointer",
+    "SystemImager",
+]
+
+_LINE = 64
+_RECORD_HEADER = struct.Struct("<IIQ")  # crc32, length, tag
+
+
+class CheckpointError(RuntimeError):
+    """Malformed checkpoint area or record."""
+
+
+class _Backend(Protocol):
+    def access(self, request: MemoryRequest): ...
+
+    def flush(self, time: float) -> float: ...
+
+
+class CheckpointArea:
+    """Append-only record log in a reserved backend region.
+
+    Each record is ``[crc32 | length | tag | payload]`` padded to
+    cachelines.  A record only counts after the backend flush that makes
+    it durable; torn tails are detected by the CRC at scan time.
+    """
+
+    def __init__(self, backend: _Backend, base: int, length: int) -> None:
+        if base % _LINE or length % _LINE:
+            raise CheckpointError("area must be cacheline-aligned")
+        self.backend = backend
+        self.base = base
+        self.length = length
+        self._cursor = base
+        self.records_written = 0
+
+    # -- raw line I/O -----------------------------------------------------
+
+    def _write_bytes(self, address: int, blob: bytes, time: float) -> float:
+        t = time
+        for offset in range(0, len(blob), _LINE):
+            chunk = blob[offset:offset + _LINE].ljust(_LINE, b"\x00")
+            response = self.backend.access(MemoryRequest(
+                MemoryOp.WRITE, address=address + offset, size=_LINE,
+                data=chunk, time=t))
+            t = response.complete_time
+        return t
+
+    def _read_bytes(self, address: int, length: int, time: float) -> bytes:
+        """Read an arbitrary byte range via aligned cacheline reads."""
+        first_line = address - address % _LINE
+        last_line = (address + length - 1) - (address + length - 1) % _LINE
+        out = bytearray()
+        t = time
+        for line in range(first_line, last_line + _LINE, _LINE):
+            response = self.backend.access(MemoryRequest(
+                MemoryOp.READ, address=line, size=_LINE, time=t))
+            out.extend(response.data or bytes(_LINE))
+            t = response.complete_time
+        start = address - first_line
+        return bytes(out[start:start + length])
+
+    # -- records ------------------------------------------------------------
+
+    def append(self, payload: bytes, tag: int = 0, time: float = 0.0,
+               durable: bool = True) -> float:
+        """Append one record; with ``durable`` the flush port runs too."""
+        record = _RECORD_HEADER.pack(
+            zlib.crc32(payload), len(payload), tag) + payload
+        padded = ((len(record) + _LINE - 1) // _LINE) * _LINE
+        if self._cursor + padded > self.base + self.length:
+            raise CheckpointError("checkpoint area full")
+        t = self._write_bytes(self._cursor, record, time)
+        self._cursor += padded
+        self.records_written += 1
+        if durable:
+            t = self.backend.flush(t)
+        return t
+
+    def scan(self, time: float = 0.0) -> list[tuple[int, bytes]]:
+        """Replay the log from media: (tag, payload) of every intact record."""
+        records = []
+        cursor = self.base
+        while cursor + _RECORD_HEADER.size <= self.base + self.length:
+            header = self._read_bytes(cursor, _RECORD_HEADER.size, time)
+            crc, length, tag = _RECORD_HEADER.unpack(header)
+            if length == 0 or cursor + _RECORD_HEADER.size + length > \
+                    self.base + self.length:
+                break
+            payload = self._read_bytes(
+                cursor + _RECORD_HEADER.size, length, time)
+            if zlib.crc32(payload) != crc:
+                break  # torn tail: stop at the last intact record
+            records.append((tag, payload))
+            cursor += ((_RECORD_HEADER.size + length + _LINE - 1)
+                       // _LINE) * _LINE
+        return records
+
+
+class ApplicationCheckpointer:
+    """A-CheckPC, functionally: per-call-site buffer snapshots."""
+
+    def __init__(self, area: CheckpointArea) -> None:
+        self.area = area
+        self.sequence = 0
+
+    def checkpoint(self, buffers: dict[str, bytes], time: float = 0.0,
+                   durable: bool = True) -> float:
+        """Save named stack/heap buffers at a function boundary."""
+        payload = bytearray()
+        for name, blob in sorted(buffers.items()):
+            encoded = name.encode()
+            payload += struct.pack("<HI", len(encoded), len(blob))
+            payload += encoded + blob
+        t = self.area.append(bytes(payload), tag=self.sequence, time=time,
+                             durable=durable)
+        self.sequence += 1
+        return t
+
+    def restore_latest(self, time: float = 0.0) -> Optional[dict[str, bytes]]:
+        """Rebuild the newest committed checkpoint's buffers."""
+        records = self.area.scan(time)
+        if not records:
+            return None
+        _, payload = records[-1]
+        out: dict[str, bytes] = {}
+        cursor = 0
+        while cursor + 6 <= len(payload):
+            name_len, blob_len = struct.unpack_from("<HI", payload, cursor)
+            cursor += 6
+            name = payload[cursor:cursor + name_len].decode()
+            cursor += name_len
+            out[name] = payload[cursor:cursor + blob_len]
+            cursor += blob_len
+        return out
+
+
+class SystemCheckpointer:
+    """S-CheckPC, functionally: periodic dumps of a task's VMA images."""
+
+    def __init__(self, area: CheckpointArea) -> None:
+        self.area = area
+        self.periods = 0
+
+    def dump_task(self, pid: int, vma_images: dict[int, bytes],
+                  time: float = 0.0) -> float:
+        """One period's dump: (start address -> bytes) per dirty VMA."""
+        payload = bytearray(struct.pack("<QI", pid, len(vma_images)))
+        for start, image in sorted(vma_images.items()):
+            payload += struct.pack("<QI", start, len(image)) + image
+        t = self.area.append(bytes(payload), tag=pid, time=time)
+        self.periods += 1
+        return t
+
+    def restore_task(self, pid: int,
+                     time: float = 0.0) -> Optional[dict[int, bytes]]:
+        """Newest committed dump for ``pid`` (cold reboot restores from it)."""
+        newest: Optional[dict[int, bytes]] = None
+        for tag, payload in self.area.scan(time):
+            if tag != pid:
+                continue
+            got_pid, count = struct.unpack_from("<QI", payload, 0)
+            cursor = 12
+            images: dict[int, bytes] = {}
+            for _ in range(count):
+                start, length = struct.unpack_from("<QI", payload, cursor)
+                cursor += 12
+                images[start] = payload[cursor:cursor + length]
+                cursor += length
+            newest = images
+        return newest
+
+
+class SystemImager:
+    """SysPC, functionally: all-or-nothing image of a memory region."""
+
+    _MAGIC = 0x5359_5350  # "SYSP"
+
+    def __init__(self, area: CheckpointArea) -> None:
+        self.area = area
+
+    def dump(self, image: bytes, time: float = 0.0,
+             interrupted: bool = False) -> float:
+        """Write the image; ``interrupted`` models the rails dying mid-dump
+        (the record is written but never made durable/committed)."""
+        return self.area.append(image, tag=self._MAGIC, time=time,
+                                durable=not interrupted)
+
+    def load(self, time: float = 0.0) -> Optional[bytes]:
+        images = [p for tag, p in self.area.scan(time) if tag == self._MAGIC]
+        return images[-1] if images else None

@@ -1,0 +1,49 @@
+"""LightPC's SnG expressed as a persistence mechanism.
+
+Unlike the LegacyPC baselines, SnG does no work during execution at all
+(no journaling, no checkpoints, no flushes); everything happens inside
+the hold-up window at the power signal (Stop) and at recovery (Go).
+The numbers come from a measured :class:`repro.pecos.sng.SnG` run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pecos.sng import GoReport, StopReport
+from repro.persistence.base import (
+    ExecutionProfile,
+    PersistenceMechanism,
+    PersistenceOutcome,
+)
+
+__all__ = ["LightPCSnG"]
+
+
+@dataclass(frozen=True)
+class LightPCSnG(PersistenceMechanism):
+    """Stop-and-Go costs around one power-down, from measured reports."""
+
+    stop_ns: float
+    go_ns: float
+    #: dynamic power while offlining (cores winding down, PSM flushing)
+    stop_power_w: float = 4.5
+    go_power_w: float = 4.4
+
+    name = "lightpc"
+
+    @classmethod
+    def from_reports(cls, stop: StopReport, go: GoReport) -> "LightPCSnG":
+        return cls(stop_ns=stop.total_ns, go_ns=go.total_ns)
+
+    def outcome(self, profile: ExecutionProfile) -> PersistenceOutcome:
+        return PersistenceOutcome(
+            mechanism=self.name,
+            execution_ns=profile.wall_ns,
+            control_ns=self.stop_ns + self.go_ns,
+            flush_at_fail_ns=self.stop_ns,
+            recover_ns=self.go_ns,
+            flush_power_w=self.stop_power_w,
+            recover_power_w=self.go_power_w,
+            survives_holdup_overrun=False,  # must fit -- and does
+        )

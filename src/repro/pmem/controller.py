@@ -1,0 +1,186 @@
+"""Host-side controllers of the conventional PMEM complex (paper Fig. 1).
+
+Three controllers manage the two memory technologies:
+
+* :class:`PMEMController` — fronts the PMEM DIMMs over the asynchronous
+  DDR-T interface (per-transfer handshake overhead on top of the DIMM's
+  own variable latency);
+* the DRAM controller is :class:`repro.memory.dram.DRAMSubsystem` itself;
+* :class:`NMEMController` — the near-memory-cache controller of memory
+  mode: caches PMEM data in local-node DRAM and overlaps the
+  DRAM-fill/PMEM-read transfers through the shared *snarf* interface, so a
+  miss costs ~max(pmem, fill) rather than the sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.dram import DRAMSubsystem
+from repro.memory.request import (
+    CACHELINE_BYTES,
+    MemoryOp,
+    MemoryRequest,
+    MemoryResponse,
+    cacheline_of,
+)
+from repro.pmem.dimm import PMEMDIMM
+from repro.sim.stats import LatencyStats, RatioStat
+
+__all__ = ["NMEMController", "PMEMController"]
+
+
+@dataclass(frozen=True)
+class _DDRTTiming:
+    """Asynchronous DDR-T handshake overhead (request + completion)."""
+
+    request_ns: float = 9.0
+    completion_ns: float = 9.0
+
+
+class PMEMController:
+    """Channel controller in front of one or more PMEM DIMMs.
+
+    Cachelines interleave across DIMMs.  The DDR-T handshake is charged on
+    both edges of every transfer; flush fans out to every DIMM.
+    """
+
+    def __init__(self, dimms: list[PMEMDIMM], ddrt: Optional[_DDRTTiming] = None) -> None:
+        if not dimms:
+            raise ValueError("PMEMController needs at least one DIMM")
+        self.dimms = dimms
+        self.ddrt = ddrt or _DDRTTiming()
+        self.capacity = sum(d.capacity for d in dimms)
+        self.is_volatile = False
+
+    def _route(self, address: int) -> tuple[PMEMDIMM, int]:
+        line = address // CACHELINE_BYTES
+        dimm = self.dimms[line % len(self.dimms)]
+        local_line = line // len(self.dimms)
+        return dimm, local_line * CACHELINE_BYTES + address % CACHELINE_BYTES
+
+    def access(self, request: MemoryRequest) -> MemoryResponse:
+        if request.op is MemoryOp.FLUSH:
+            return MemoryResponse(request, complete_time=self.drain(request.time))
+        dimm, local = self._route(request.address)
+        inner = MemoryRequest(
+            op=request.op,
+            address=local,
+            size=request.size,
+            time=request.time + self.ddrt.request_ns,
+            data=request.data,
+            thread_id=request.thread_id,
+        )
+        response = dimm.access(inner)
+        return MemoryResponse(
+            request,
+            complete_time=response.complete_time + self.ddrt.completion_ns,
+            occupied_until=response.occupied_until,
+            data=response.data,
+            blocked_ns=response.blocked_ns,
+        )
+
+    def drain(self, time: float) -> float:
+        done = time
+        for dimm in self.dimms:
+            done = max(done, dimm.flush(time))
+        return done + self.ddrt.completion_ns
+
+    def power_cycle(self) -> None:
+        for dimm in self.dimms:
+            dimm.power_cycle()
+
+
+class NMEMController:
+    """Memory-mode near-memory cache: local DRAM caches the PMEM DIMMs.
+
+    Tag state is modelled as a direct-mapped line cache over the DRAM
+    capacity.  On a miss, the PMEM read and the DRAM fill overlap through
+    snarf, so the charged latency is the slower of the two plus a small
+    coupling cost, not their sum.  Memory mode drops non-volatility: the
+    cached (youngest) copies live in DRAM and die with power.
+    """
+
+    def __init__(
+        self,
+        dram: DRAMSubsystem,
+        pmem: PMEMController,
+        snarf_ns: float = 6.0,
+    ) -> None:
+        self.dram = dram
+        self.pmem = pmem
+        self.snarf_ns = snarf_ns
+        self._lines = dram.config.capacity // CACHELINE_BYTES
+        self._tags: dict[int, int] = {}
+        self.hit_stats = RatioStat()
+        self.latency = LatencyStats("nmem")
+        self.capacity = pmem.capacity
+        #: Memory mode presents volatile working memory (paper §II-A).
+        self.is_volatile = True
+
+    def _slot(self, address: int) -> int:
+        return (address // CACHELINE_BYTES) % self._lines
+
+    def access(self, request: MemoryRequest) -> MemoryResponse:
+        if request.op is MemoryOp.FLUSH:
+            done = max(
+                self.dram.drain(request.time), self.pmem.drain(request.time)
+            )
+            return MemoryResponse(request, complete_time=done)
+        line = cacheline_of(request.address)
+        slot = self._slot(request.address)
+        hit = self._tags.get(slot) == line
+        self.hit_stats.record(hit)
+        dram_request = MemoryRequest(
+            op=request.op,
+            address=request.address % self.dram.config.capacity,
+            size=request.size,
+            time=request.time,
+            data=request.data,
+            thread_id=request.thread_id,
+        )
+        if hit:
+            response = self.dram.access(dram_request)
+            out = MemoryResponse(
+                request,
+                complete_time=response.complete_time,
+                data=response.data,
+                blocked_ns=response.blocked_ns,
+            )
+        else:
+            # Snarf overlap: PMEM read and DRAM fill in flight together.
+            pmem_request = MemoryRequest(
+                op=MemoryOp.READ,
+                address=request.address,
+                size=request.size,
+                time=request.time,
+                thread_id=request.thread_id,
+            )
+            pmem_response = self.pmem.access(pmem_request)
+            dram_response = self.dram.access(dram_request)
+            complete = (
+                max(pmem_response.complete_time, dram_response.complete_time)
+                + self.snarf_ns
+            )
+            self._tags[slot] = line
+            out = MemoryResponse(
+                request,
+                complete_time=complete,
+                data=pmem_response.data,
+                blocked_ns=pmem_response.blocked_ns + dram_response.blocked_ns,
+            )
+        self.latency.record(out.latency)
+        return out
+
+    def drain(self, time: float) -> float:
+        return max(self.dram.drain(time), self.pmem.drain(time))
+
+    def power_cycle(self) -> None:
+        self._tags.clear()
+        self.dram.power_cycle()
+        self.pmem.power_cycle()
+
+    @property
+    def hit_ratio(self) -> float:
+        return self.hit_stats.ratio

@@ -1,0 +1,94 @@
+"""Device-file + DAX mapping model (paper §II-B, Fig. 3a).
+
+Linux exposes app-direct/sector-mode PMEM as a device file (``/dev/pmemX``)
+and applications reach it through a memory-mapped file: direct access
+(DAX) translates a virtual address to a physical one by adding the mapping
+offset — which is why the paper calls its translation overhead negligible.
+The model is functional (real bounds-checked translation) so the PMDK
+layer and the examples can build on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["DaxMapping", "DaxTranslationError", "DevDaxFile"]
+
+
+class DaxTranslationError(ValueError):
+    """An address fell outside every established DAX mapping."""
+
+
+@dataclass(frozen=True)
+class DaxMapping:
+    """One mmap of a device-file range into a process address space."""
+
+    va_base: int
+    file_offset: int
+    length: int
+
+    def contains(self, va: int, size: int = 1) -> bool:
+        return self.va_base <= va and va + size <= self.va_base + self.length
+
+    def translate(self, va: int) -> int:
+        """VA -> file offset; the "add an offset" DAX fast path."""
+        if not self.contains(va):
+            raise DaxTranslationError(
+                f"VA {va:#x} outside mapping [{self.va_base:#x}, "
+                f"{self.va_base + self.length:#x})"
+            )
+        return va - self.va_base + self.file_offset
+
+
+class DevDaxFile:
+    """A /dev/pmem device file fronting a persistent capacity.
+
+    Tracks active mappings and resolves virtual addresses.  Overlapping
+    virtual ranges are rejected, like the kernel would.
+    """
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("device capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._mappings: list[DaxMapping] = []
+
+    def mmap(self, va_base: int, file_offset: int, length: int) -> DaxMapping:
+        if file_offset < 0 or file_offset + length > self.capacity:
+            raise DaxTranslationError(
+                f"file range [{file_offset:#x}, {file_offset + length:#x}) "
+                f"outside {self.name} capacity {self.capacity:#x}"
+            )
+        for existing in self._mappings:
+            if not (
+                va_base + length <= existing.va_base
+                or existing.va_base + existing.length <= va_base
+            ):
+                raise DaxTranslationError(
+                    f"VA range overlaps existing mapping at {existing.va_base:#x}"
+                )
+        mapping = DaxMapping(va_base=va_base, file_offset=file_offset, length=length)
+        self._mappings.append(mapping)
+        return mapping
+
+    def munmap(self, mapping: DaxMapping) -> None:
+        self._mappings.remove(mapping)
+
+    def resolve(self, va: int, size: int = 1) -> int:
+        """Translate a VA through whichever mapping covers it."""
+        for mapping in self._mappings:
+            if mapping.contains(va, size):
+                return mapping.translate(va)
+        raise DaxTranslationError(f"VA {va:#x} is not DAX-mapped")
+
+    def find_mapping(self, va: int) -> Optional[DaxMapping]:
+        for mapping in self._mappings:
+            if mapping.contains(va):
+                return mapping
+        return None
+
+    @property
+    def mappings(self) -> tuple[DaxMapping, ...]:
+        return tuple(self._mappings)

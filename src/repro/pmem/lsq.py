@@ -1,0 +1,103 @@
+"""PMEM DIMM load-store queue with 256 B write combining (§II-A).
+
+The reverse-engineered Optane DIMM reorders incoming 64 B requests and
+combines writes into 256 B frames — the physical access granularity of the
+DIMM-level PRAM media — before they reach the internal buffers.  The LSQ
+here models that: pending writes are keyed by 256 B frame, a write to an
+already-pending frame merges for free, and reads snoop the queue for
+store-to-load forwarding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.request import PMEM_INTERNAL_BYTES
+
+__all__ = ["LSQEntry", "LoadStoreQueue"]
+
+
+@dataclass
+class LSQEntry:
+    """One pending 256 B combined write frame."""
+
+    frame: int
+    first_time: float
+    last_time: float
+    merged_writes: int = 1
+    #: 64 B sub-line coverage within the frame (bitmask over 4 slots).
+    coverage: int = 0
+
+
+class LoadStoreQueue:
+    """Bounded write-combining queue in front of the DIMM internals.
+
+    * ``push_write`` merges into a pending frame when possible; otherwise a
+      new entry is allocated, evicting the oldest entry when full (the
+      evicted frame is returned so the caller can issue it to the media
+      path).
+    * ``forward_read`` reports whether a read can be served from a pending
+      frame (store-to-load forwarding inside the DIMM).
+    """
+
+    def __init__(self, depth: int = 16, frame_bytes: int = PMEM_INTERNAL_BYTES,
+                 queue_ns: float = 6.0) -> None:
+        if depth <= 0:
+            raise ValueError("LSQ depth must be positive")
+        self.depth = depth
+        self.frame_bytes = frame_bytes
+        self.queue_ns = queue_ns
+        self._entries: dict[int, LSQEntry] = {}
+        self.combines = 0
+        self.allocations = 0
+        self.evictions = 0
+
+    def frame_of(self, address: int) -> int:
+        return address - (address % self.frame_bytes)
+
+    def _slot_of(self, address: int) -> int:
+        return (address % self.frame_bytes) // 64
+
+    def push_write(self, time: float, address: int) -> Optional[LSQEntry]:
+        """Accept a 64 B write; returns an evicted frame entry or None."""
+        frame = self.frame_of(address)
+        slot_bit = 1 << self._slot_of(address)
+        entry = self._entries.get(frame)
+        if entry is not None:
+            entry.merged_writes += 1
+            entry.last_time = time
+            entry.coverage |= slot_bit
+            self.combines += 1
+            return None
+        evicted: Optional[LSQEntry] = None
+        if len(self._entries) >= self.depth:
+            oldest_frame = min(self._entries, key=lambda f: self._entries[f].first_time)
+            evicted = self._entries.pop(oldest_frame)
+            self.evictions += 1
+        self._entries[frame] = LSQEntry(
+            frame=frame, first_time=time, last_time=time, coverage=slot_bit
+        )
+        self.allocations += 1
+        return evicted
+
+    def forward_read(self, address: int) -> bool:
+        """True if a pending write frame covers this 64 B line."""
+        entry = self._entries.get(self.frame_of(address))
+        if entry is None:
+            return False
+        return bool(entry.coverage & (1 << self._slot_of(address)))
+
+    def drain(self) -> list[LSQEntry]:
+        """Flush: return all pending frames oldest-first and empty the queue."""
+        entries = sorted(self._entries.values(), key=lambda e: e.first_time)
+        self._entries.clear()
+        return entries
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.depth

@@ -1,0 +1,173 @@
+"""Sector mode: PMEM as block storage (paper §II-A).
+
+Alongside memory mode and app-direct mode, Optane-style PMEM can be
+provisioned as *sector mode*: the DIMMs appear as a block device at /dev
+with power-fail-atomic 4 KB sectors.  Atomicity is implemented the way
+the real Block Translation Table (BTT) does it — out-of-place writes
+through a translation table with a free-block pool, so a torn write
+never exposes a half-old/half-new sector.
+
+The model is functional over the simulated DIMMs (real bytes through the
+PMEM controller) with the BTT metadata itself persisted, and temporal
+(each sector op is a burst of cacheline transfers through the DIMM
+path).  A :meth:`crash` between the data write and the map commit leaves
+the *old* sector visible — the atomicity contract the tests assert.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from repro.memory.request import MemoryOp, MemoryRequest
+from repro.pmem.controller import PMEMController
+
+__all__ = ["SECTOR_BYTES", "SectorDevice", "SectorError"]
+
+SECTOR_BYTES = 4096
+_LINE = 64
+_MAP_ENTRY = struct.Struct("<I")
+
+
+class SectorError(ValueError):
+    """Out-of-range sector or geometry problem."""
+
+
+@dataclass
+class _Geometry:
+    sectors: int            # externally visible sectors
+    blocks: int             # physical blocks (sectors + free pool)
+    map_base: int           # BTT map location (byte offset)
+    data_base: int          # first physical block (byte offset)
+
+
+class SectorDevice:
+    """A BTT-style atomic-sector block device over a PMEM controller."""
+
+    #: spare physical blocks backing out-of-place writes
+    FREE_POOL = 8
+
+    def __init__(self, pmem: PMEMController, sectors: int = 64) -> None:
+        if sectors <= 0:
+            raise SectorError("need at least one sector")
+        map_bytes = (sectors + self.FREE_POOL) * _MAP_ENTRY.size
+        map_bytes = (map_bytes + SECTOR_BYTES - 1) // SECTOR_BYTES * SECTOR_BYTES
+        needed = map_bytes + (sectors + self.FREE_POOL) * SECTOR_BYTES
+        if needed > pmem.capacity:
+            raise SectorError(
+                f"{sectors} sectors need {needed} B, controller has "
+                f"{pmem.capacity} B"
+            )
+        self.pmem = pmem
+        self.geometry = _Geometry(
+            sectors=sectors,
+            blocks=sectors + self.FREE_POOL,
+            map_base=0,
+            data_base=map_bytes,
+        )
+        #: volatile cache of the persistent BTT map; rebuilt on attach
+        self._map: list[int] = list(range(sectors))
+        self._free: list[int] = list(range(sectors, sectors + self.FREE_POOL))
+        self.reads = 0
+        self.writes = 0
+        self.last_op_ns = 0.0
+        self._persist_map_entrys_init()
+
+    # -- persistent BTT map ----------------------------------------------------
+
+    def _map_line(self, index: int) -> tuple[int, int]:
+        byte = self.geometry.map_base + index * _MAP_ENTRY.size
+        return byte - byte % _LINE, byte % _LINE
+
+    def _persist_map_entry(self, index: int, value: int, time: float) -> float:
+        line, offset = self._map_line(index)
+        response = self.pmem.access(MemoryRequest(
+            MemoryOp.READ, address=line, size=_LINE, time=time))
+        image = bytearray(response.data or bytes(_LINE))
+        _MAP_ENTRY.pack_into(image, offset, value)
+        response = self.pmem.access(MemoryRequest(
+            MemoryOp.WRITE, address=line, size=_LINE, data=bytes(image),
+            time=response.complete_time))
+        # the map commit must be durable before the write is acknowledged
+        return self.pmem.drain(response.complete_time)
+
+    def _persist_map_entrys_init(self) -> None:
+        t = 0.0
+        for index, block in enumerate(self._map + self._free):
+            t = self._persist_map_entry(index, block, t)
+
+    def _load_map(self) -> None:
+        entries = []
+        t = 0.0
+        for index in range(self.geometry.blocks):
+            line, offset = self._map_line(index)
+            response = self.pmem.access(MemoryRequest(
+                MemoryOp.READ, address=line, size=_LINE, time=t))
+            entries.append(
+                _MAP_ENTRY.unpack_from(response.data, offset)[0])
+            t = response.complete_time
+        self._map = entries[:self.geometry.sectors]
+        self._free = entries[self.geometry.sectors:]
+
+    def _block_address(self, block: int) -> int:
+        return self.geometry.data_base + block * SECTOR_BYTES
+
+    def _check(self, sector: int) -> None:
+        if not 0 <= sector < self.geometry.sectors:
+            raise SectorError(
+                f"sector {sector} outside [0, {self.geometry.sectors})")
+
+    # -- block API ---------------------------------------------------------------
+
+    def read_sector(self, sector: int, time: float = 0.0) -> bytes:
+        """Read one 4 KB sector (sequence of cacheline transfers)."""
+        self._check(sector)
+        base = self._block_address(self._map[sector])
+        out = bytearray()
+        t = time
+        for offset in range(0, SECTOR_BYTES, _LINE):
+            response = self.pmem.access(MemoryRequest(
+                MemoryOp.READ, address=base + offset, size=_LINE, time=t))
+            out.extend(response.data or bytes(_LINE))
+            t = response.complete_time
+        self.reads += 1
+        self.last_op_ns = t - time
+        return bytes(out)
+
+    def write_sector(self, sector: int, data: bytes, time: float = 0.0,
+                     *, crash_before_commit: bool = False) -> None:
+        """Atomically replace one sector (out-of-place + map commit).
+
+        ``crash_before_commit`` is the fault-injection hook: the data hits
+        a free block but the map entry is never committed, modelling power
+        loss mid-write; the old contents stay visible.
+        """
+        self._check(sector)
+        if len(data) != SECTOR_BYTES:
+            raise SectorError(f"sector writes are {SECTOR_BYTES} B, got "
+                              f"{len(data)}")
+        fresh = self._free[0]
+        base = self._block_address(fresh)
+        t = time
+        for offset in range(0, SECTOR_BYTES, _LINE):
+            response = self.pmem.access(MemoryRequest(
+                MemoryOp.WRITE, address=base + offset, size=_LINE,
+                data=data[offset:offset + _LINE], time=t))
+            t = response.complete_time
+        t = self.pmem.drain(t)  # the new block must be durable first
+        if crash_before_commit:
+            return  # power died here: map still points at the old block
+        old = self._map[sector]
+        self._map[sector] = fresh
+        self._free = self._free[1:] + [old]
+        t = self._persist_map_entry(sector, fresh, t)
+        t = self._persist_map_entry(self.geometry.sectors +
+                                    self.FREE_POOL - 1, old, t)
+        self.writes += 1
+        self.last_op_ns = t - time
+
+    # -- crash / reattach -----------------------------------------------------------
+
+    def crash_and_reattach(self) -> None:
+        """Power loss: drop the volatile map cache, rebuild from media."""
+        self.pmem.power_cycle()
+        self._load_map()

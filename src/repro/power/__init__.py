@@ -1,0 +1,20 @@
+"""Power/energy modelling and PSU hold-up behaviour."""
+
+from repro.power.model import (
+    COMPONENT_SPECS,
+    ComponentSpec,
+    PowerModel,
+    PowerReport,
+)
+from repro.power.psu import ATX_PSU, SERVER_PSU, PSUModel, PowerEventInjector
+
+__all__ = [
+    "ATX_PSU",
+    "COMPONENT_SPECS",
+    "ComponentSpec",
+    "PSUModel",
+    "PowerEventInjector",
+    "PowerModel",
+    "PowerReport",
+    "SERVER_PSU",
+]

@@ -1,0 +1,27 @@
+"""Discrete-event simulation engine and statistics accumulators."""
+
+from repro.sim.engine import Event, Process, SimulationError, Simulator, Timeout
+from repro.sim.stats import (
+    Counter,
+    Histogram,
+    LatencyStats,
+    RatioStat,
+    TimeSeries,
+    geometric_mean,
+    weighted_mean,
+)
+
+__all__ = [
+    "Counter",
+    "Event",
+    "Histogram",
+    "LatencyStats",
+    "Process",
+    "RatioStat",
+    "SimulationError",
+    "Simulator",
+    "TimeSeries",
+    "Timeout",
+    "geometric_mean",
+    "weighted_mean",
+]

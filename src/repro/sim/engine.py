@@ -1,0 +1,252 @@
+"""Discrete-event simulation engine.
+
+The engine is deliberately small: a monotonically advancing clock, a
+priority queue of timestamped events, and generator-based processes in the
+style of SimPy.  Two kinds of users exist in this repository:
+
+* nanosecond-scale models (PSU hold-up windows, Stop-and-Go phases) that
+  schedule callbacks and processes directly, and
+* cycle-scale trace-driven models (the memory hierarchy) that mostly use the
+  clock as a shared notion of "now" and advance it in bulk.
+
+Time is a ``float`` whose unit is chosen by the caller (the rest of the
+repository uses nanoseconds for event-driven models and cycles for
+trace-driven models; :class:`repro.core.config.ClockDomain` converts).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Event",
+    "Process",
+    "SimulationError",
+    "Simulator",
+    "Timeout",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for scheduling errors (e.g. scheduling into the past)."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    time: float
+    priority: int
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    An event may carry a ``value`` and a list of callbacks.  Processes that
+    ``yield`` an event are resumed with its value when it fires.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "") -> None:
+        self.sim = sim
+        self.name = name
+        self.fired = False
+        self.cancelled = False
+        self.value: Any = None
+        self._callbacks: list[Callable[["Event"], None]] = []
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.fired:
+            raise SimulationError("cannot add a callback to a fired event")
+        self._callbacks.append(callback)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing when popped from the queue."""
+        self.cancelled = True
+
+    def _fire(self) -> None:
+        if self.cancelled:
+            return
+        self.fired = True
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "fired" if self.fired else "pending"
+        return f"<Event {self.name or hex(id(self))} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay from its creation time."""
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
+        super().__init__(sim, name=f"timeout({delay})")
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        self.value = value
+        sim._schedule(self, sim.now + delay)
+
+
+class Process(Event):
+    """A generator-driven simulated process.
+
+    The generator yields :class:`Event` objects (most commonly timeouts) and
+    is resumed with each event's value.  The process itself is an event that
+    fires with the generator's return value when it finishes, so processes
+    can wait on one another.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: str = "",
+    ) -> None:
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        bootstrap = Event(sim, name=f"start:{self.name}")
+        bootstrap.add_callback(self._resume)
+        sim._schedule(bootstrap, sim.now)
+
+    def _resume(self, event: Event) -> None:
+        try:
+            target = self._generator.send(event.value)
+        except StopIteration as stop:
+            self.value = stop.value
+            self.sim._schedule(self, self.sim.now)
+            return
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}, expected an Event"
+            )
+        if target.fired:
+            # Waiting on something already done resumes immediately (e.g.
+            # a master joining a worker that finished first).
+            relay = Event(self.sim, name=f"join:{target.name}")
+            relay.value = target.value
+            relay.add_callback(self._resume)
+            self.sim._schedule(relay, self.sim.now)
+        else:
+            target.add_callback(self._resume)
+
+    def interrupt(self) -> None:
+        """Stop the process without firing it (close the generator)."""
+        self._generator.close()
+        self.cancel()
+
+
+class Simulator:
+    """Event queue plus clock.
+
+    Events at equal times fire in (priority, insertion) order so runs are
+    fully deterministic.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.now = float(start_time)
+        self._queue: list[_QueueEntry] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, when: float, priority: int = 0) -> Event:
+        if when < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {when} (now is {self.now})"
+            )
+        heapq.heappush(
+            self._queue, _QueueEntry(when, priority, next(self._seq), event)
+        )
+        return event
+
+    def event(self, name: str = "") -> Event:
+        """Create an unscheduled event; fire it with :meth:`succeed`."""
+        return Event(self, name)
+
+    def succeed(self, event: Event, value: Any = None, delay: float = 0.0) -> Event:
+        event.value = value
+        return self._schedule(event, self.now + delay)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(
+        self, generator: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        return Process(self, generator, name)
+
+    def call_at(self, when: float, fn: Callable[[], None], name: str = "") -> Event:
+        """Run ``fn`` at absolute time ``when``."""
+        event = Event(self, name or f"call_at({when})")
+        event.add_callback(lambda _e: fn())
+        return self._schedule(event, when)
+
+    def call_after(self, delay: float, fn: Callable[[], None], name: str = "") -> Event:
+        return self.call_at(self.now + delay, fn, name=name)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> float:
+        """Fire the next event; returns its timestamp."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        entry = heapq.heappop(self._queue)
+        self.now = entry.time
+        if not entry.event.cancelled:
+            self.events_processed += 1
+            entry.event._fire()
+        return entry.time
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        until_event: Optional[Event] = None,
+        max_events: int = 50_000_000,
+    ) -> None:
+        """Run until the queue drains, ``until`` is reached, or an event fires.
+
+        ``until`` is an absolute time; the clock is advanced to it even if the
+        queue drains earlier, which keeps power-integration windows exact.
+        """
+        remaining = max_events
+        while self._queue:
+            if until is not None and self._queue[0].time > until:
+                break
+            if until_event is not None and until_event.fired:
+                return
+            self.step()
+            remaining -= 1
+            if remaining <= 0:
+                raise SimulationError("max_events exceeded; runaway simulation?")
+        if until is not None and until > self.now:
+            self.now = until
+
+    def peek(self) -> Optional[float]:
+        """Timestamp of the next pending event, or None."""
+        return self._queue[0].time if self._queue else None
+
+    def advance(self, delta: float) -> None:
+        """Advance the clock in bulk (trace-driven users).
+
+        Raises if events are pending before the target time: bulk advancing
+        must never skip over scheduled work.
+        """
+        if delta < 0:
+            raise SimulationError(f"cannot advance by negative delta {delta}")
+        target = self.now + delta
+        nxt = self.peek()
+        if nxt is not None and nxt < target:
+            raise SimulationError(
+                f"advance({delta}) would skip event at {nxt}; run() first"
+            )
+        self.now = target
+
+    def drain(self, events: Iterable[Event]) -> None:
+        """Run until every event in ``events`` has fired."""
+        pending = [e for e in events if not e.fired]
+        for event in pending:
+            self.run(until_event=event)

@@ -1,0 +1,42 @@
+"""Workload substrate: synthetic traces calibrated to the paper's Table II."""
+
+from repro.workloads.characterize import Characterization, characterize
+from repro.workloads.registry import (
+    CATEGORIES,
+    WORKLOAD_SPECS,
+    WorkloadSpec,
+    spec,
+    workload_names,
+)
+from repro.workloads.stream import STREAM_KERNELS, StreamKernel, stream_kernel
+from repro.workloads.suites import Workload, all_workloads, load_workload
+from repro.workloads.trace import LocalityProfile, TraceGenerator, TraceRecord
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_stats,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Characterization",
+    "characterize",
+    "LocalityProfile",
+    "STREAM_KERNELS",
+    "StreamKernel",
+    "TraceFormatError",
+    "TraceGenerator",
+    "TraceRecord",
+    "WORKLOAD_SPECS",
+    "Workload",
+    "WorkloadSpec",
+    "all_workloads",
+    "load_trace",
+    "load_workload",
+    "save_trace",
+    "spec",
+    "trace_stats",
+    "stream_kernel",
+    "workload_names",
+]

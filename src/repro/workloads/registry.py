@@ -1,0 +1,205 @@
+"""Table II: benchmark characterization targets for all 17 workloads.
+
+The paper characterizes five suites — Crypto (AES, SHA512), HPC proxies
+(miniFE, AMG, SNAP), SPEC CPU2006 (perlbench, bzip2, gcc, mcf, astar,
+cactusADM, dealII, wrf), and in-memory DBs (Redis, KeyDB, Memcached,
+SQLite) — by memory read/write counts, read/write ratio, row-buffer hit
+counts, D$ hit ratios, and threading.  Those published numbers are the
+*calibration targets* here: each entry carries the paper's Table II row
+plus the locality-profile parameters that make the synthetic trace land
+near it, and the characterization experiment measures the result back.
+
+``read_after_write`` is tuned from the paper's Fig. 16 narrative: wrf
+re-reads its own recent predictions heavily (most head-of-line blocking),
+mcf writes so rarely that read-after-write conflicts are rare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.trace import LocalityProfile
+
+__all__ = ["CATEGORIES", "WORKLOAD_SPECS", "WorkloadSpec", "spec", "workload_names"]
+
+CATEGORIES = ("crypto", "hpc", "spec", "inmemdb")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One Table II row + the trace parameters that approximate it."""
+
+    name: str
+    category: str
+    #: Paper-reported memory reads/writes (absolute counts).
+    paper_reads: float
+    paper_writes: float
+    #: Paper-reported read/write ratio ("#Write" column context).
+    paper_rw_ratio: float
+    #: Paper-reported row-buffer hit count.
+    paper_rb_hits: float
+    #: Paper-reported D$ hit ratios (percent).
+    paper_read_hit: float
+    paper_write_hit: float
+    multithread: bool
+    profile: LocalityProfile
+
+    @property
+    def threads(self) -> int:
+        return 8 if self.multithread else 1
+
+
+def _profile(
+    read_hit: float,
+    write_hit: float,
+    rw_ratio: float,
+    *,
+    ws_lines: int,
+    raw: float,
+    page_loc: float,
+    seq: float = 0.2,
+    ipa: float = 3.0,
+) -> LocalityProfile:
+    """Derive trace knobs from Table II targets.
+
+    The derivation works backwards from the target *miss* budget:
+
+    * ``raw`` here is the share of read **misses** that are read-after-
+      write traffic (the Fig. 16 narrative: nearly all of wrf's misses
+      chase freshly written pages, nearly none of mcf's do).  The
+      CPU-level RAW probability is therefore miss_rate * raw, keeping the
+      D$ hit target intact while controlling the memory-level RAW mix.
+    * the remaining miss budget is provided by uniform working-set
+      accesses; the hot-set fraction absorbs everything else.
+    * the write-hit target maps to store temporal locality (re-dirtying
+      recent lines), and ``page_loc`` to the page clustering that drives
+      PSM row-buffer behaviour.
+    """
+    miss = max(0.004, 1.0 - read_hit / 100.0)
+    raw_prob = min(0.5, miss * raw / 0.9)  # ~90% of RAW-page reads miss
+    residual = max(0.002, miss - raw_prob * 0.9)
+    hot_fraction = min(0.998, max(0.05, 1.0 - residual / (1.0 - raw_prob)))
+    write_fraction = 1.0 / (1.0 + rw_ratio)
+    return LocalityProfile(
+        working_set_lines=ws_lines,
+        hot_lines=192,
+        hot_fraction=hot_fraction,
+        sequential_fraction=seq,
+        write_fraction=write_fraction,
+        read_after_write=raw_prob,
+        write_page_locality=page_loc,
+        write_line_reuse=min(0.99, max(0.0, write_hit / 100.0)),
+        instructions_per_access=ipa,
+    )
+
+
+WORKLOAD_SPECS: dict[str, WorkloadSpec] = {}
+
+
+def _register(spec_: WorkloadSpec) -> None:
+    WORKLOAD_SPECS[spec_.name] = spec_
+
+
+_register(WorkloadSpec(
+    "aes", "crypto", 21.7e6, 4.5e6, 4.8, 1, 99.5, 98.9, False,
+    _profile(99.5, 98.9, 4.8, ws_lines=512, raw=0.30, page_loc=0.97,
+             seq=0.05, ipa=8.0),
+))
+_register(WorkloadSpec(
+    "sha512", "crypto", 6.3e6, 0.438e6, 14.0, 1, 99.9, 99.9, False,
+    _profile(99.9, 99.9, 14.0, ws_lines=256, raw=0.20, page_loc=0.98,
+             seq=0.05, ipa=10.0),
+))
+_register(WorkloadSpec(
+    "minife", "hpc", 419e6, 37.3e6, 11.0, 3.9e3, 93.3, 99.4, True,
+    _profile(93.3, 99.4, 11.0, ws_lines=32_768, raw=0.55, page_loc=0.90,
+             seq=0.30, ipa=3.5),
+))
+_register(WorkloadSpec(
+    "amg", "hpc", 513e6, 46.7e6, 11.0, 116e3, 84.1, 89.8, True,
+    _profile(84.1, 89.8, 11.0, ws_lines=65_536, raw=0.45, page_loc=0.75,
+             seq=0.25, ipa=3.5),
+))
+_register(WorkloadSpec(
+    "snap", "hpc", 370e6, 137e6, 2.7, 54e3, 97.9, 99.0, True,
+    _profile(97.9, 99.0, 2.7, ws_lines=32_768, raw=0.70, page_loc=0.85,
+             seq=0.30, ipa=3.0),
+))
+_register(WorkloadSpec(
+    "perlbench", "spec", 239e6, 38.9e6, 6.1, 892, 80.2, 81.3, False,
+    _profile(80.2, 81.3, 6.1, ws_lines=16_384, raw=0.35, page_loc=0.55,
+             seq=0.15, ipa=3.0),
+))
+_register(WorkloadSpec(
+    "bzip2", "spec", 123e6, 47.2e6, 2.6, 774, 94.6, 54.4, False,
+    _profile(94.6, 54.4, 2.6, ws_lines=16_384, raw=0.50, page_loc=0.30,
+             seq=0.35, ipa=3.0),
+))
+_register(WorkloadSpec(
+    "gcc", "spec", 360e6, 81.3e6, 4.4, 70e3, 99.0, 98.4, False,
+    _profile(99.0, 98.4, 4.4, ws_lines=16_384, raw=0.65, page_loc=0.88,
+             seq=0.20, ipa=3.0),
+))
+_register(WorkloadSpec(
+    "mcf", "spec", 578e6, 1.7e6, 345.0, 10e3, 93.4, 95.5, False,
+    _profile(93.4, 95.5, 345.0, ws_lines=65_536, raw=0.05, page_loc=0.80,
+             seq=0.10, ipa=2.5),
+))
+_register(WorkloadSpec(
+    "astar", "spec", 789e6, 296e6, 2.7, 20e3, 96.2, 98.7, False,
+    _profile(96.2, 98.7, 2.7, ws_lines=32_768, raw=0.70, page_loc=0.85,
+             seq=0.20, ipa=2.5),
+))
+_register(WorkloadSpec(
+    "cactusadm", "spec", 428e6, 36.8e6, 12.0, 9.1e3, 96.1, 94.1, False,
+    _profile(96.1, 94.1, 12.0, ws_lines=32_768, raw=0.45, page_loc=0.80,
+             seq=0.30, ipa=3.5),
+))
+_register(WorkloadSpec(
+    "dealii", "spec", 352e6, 26.7e6, 13.0, 229e3, 75.8, 97.5, False,
+    _profile(75.8, 97.5, 13.0, ws_lines=65_536, raw=0.30, page_loc=0.90,
+             seq=0.15, ipa=3.0),
+))
+_register(WorkloadSpec(
+    "wrf", "spec", 345e6, 80.1e6, 4.3, 1.2e3, 96.2, 94.2, False,
+    _profile(96.2, 94.2, 4.3, ws_lines=32_768, raw=0.95, page_loc=0.80,
+             seq=0.25, ipa=3.0),
+))
+_register(WorkloadSpec(
+    "redis", "inmemdb", 377e6, 60.4e6, 6.2, 37e3, 97.9, 99.1, True,
+    _profile(97.9, 99.1, 6.2, ws_lines=65_536, raw=0.60, page_loc=0.88,
+             seq=0.15, ipa=4.0),
+))
+_register(WorkloadSpec(
+    "keydb", "inmemdb", 195e6, 75.7e6, 2.6, 51e3, 97.7, 99.0, True,
+    _profile(97.7, 99.0, 2.6, ws_lines=65_536, raw=0.65, page_loc=0.88,
+             seq=0.15, ipa=4.0),
+))
+_register(WorkloadSpec(
+    "memcached", "inmemdb", 354e6, 57.3e6, 6.2, 12e3, 95.3, 98.5, True,
+    _profile(95.3, 98.5, 6.2, ws_lines=65_536, raw=0.55, page_loc=0.85,
+             seq=0.15, ipa=4.0),
+))
+_register(WorkloadSpec(
+    "sqlite", "inmemdb", 187e6, 14.9e6, 13.0, 126, 78.1, 98.4, True,
+    _profile(78.1, 98.4, 13.0, ws_lines=65_536, raw=0.30, page_loc=0.85,
+             seq=0.10, ipa=4.0),
+))
+
+
+def workload_names(category: str | None = None) -> list[str]:
+    """All workload names, optionally filtered by suite."""
+    if category is None:
+        return list(WORKLOAD_SPECS)
+    if category not in CATEGORIES:
+        raise ValueError(f"unknown category {category!r}")
+    return [n for n, s in WORKLOAD_SPECS.items() if s.category == category]
+
+
+def spec(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOAD_SPECS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; known: {sorted(WORKLOAD_SPECS)}"
+        ) from None

@@ -1,0 +1,94 @@
+"""Trace persistence: save/load reference streams as compact binary.
+
+Synthetic traces are regenerable from seeds, but artifact workflows want
+them on disk: to diff runs across code versions, to hand a colleague the
+exact stream behind a number, or to replay a captured trace from another
+tool.  The format is deliberately dumb and stable:
+
+``header | record*`` where the header is magic, version, and count, and
+each record packs (instructions, address, flags) little-endian.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import Iterable, Iterator, Union
+
+from repro.workloads.trace import TraceRecord
+
+__all__ = ["TraceFormatError", "load_trace", "save_trace", "trace_stats"]
+
+_MAGIC = b"LPCTRACE"
+_VERSION = 1
+_HEADER = struct.Struct("<8sHQ")          # magic, version, count
+_RECORD = struct.Struct("<IQB")           # instructions, address, flags
+_FLAG_WRITE = 0x1
+
+
+class TraceFormatError(ValueError):
+    """Not a trace file, or an unsupported version."""
+
+
+def save_trace(records: Iterable[TraceRecord],
+               path: Union[str, Path]) -> int:
+    """Write records to ``path``; returns the record count."""
+    path = Path(path)
+    body = bytearray()
+    count = 0
+    for record in records:
+        flags = _FLAG_WRITE if record.is_write else 0
+        body += _RECORD.pack(record.instructions, record.address, flags)
+        count += 1
+    with path.open("wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, count))
+        handle.write(bytes(body))
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> Iterator[TraceRecord]:
+    """Stream records back from ``path``."""
+    path = Path(path)
+    with path.open("rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) < _HEADER.size:
+            raise TraceFormatError(f"{path}: truncated header")
+        magic, version, count = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path}: not a trace file")
+        if version != _VERSION:
+            raise TraceFormatError(
+                f"{path}: version {version} unsupported (want {_VERSION})")
+        for index in range(count):
+            blob = handle.read(_RECORD.size)
+            if len(blob) < _RECORD.size:
+                raise TraceFormatError(
+                    f"{path}: truncated at record {index}/{count}")
+            instructions, address, flags = _RECORD.unpack(blob)
+            yield TraceRecord(
+                instructions=instructions,
+                address=address,
+                is_write=bool(flags & _FLAG_WRITE),
+            )
+
+
+def trace_stats(path: Union[str, Path]) -> dict[str, float]:
+    """Quick summary of a trace file (counts, mix, footprint)."""
+    reads = writes = instructions = 0
+    lines: set[int] = set()
+    for record in load_trace(path):
+        if record.is_write:
+            writes += 1
+        else:
+            reads += 1
+        instructions += record.instructions
+        lines.add(record.address // 64)
+    total = reads + writes
+    return {
+        "records": total,
+        "reads": reads,
+        "writes": writes,
+        "write_fraction": writes / total if total else 0.0,
+        "instructions": instructions,
+        "footprint_bytes": len(lines) * 64,
+    }

@@ -1,0 +1,138 @@
+"""Tests for the set-associative write-back cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu import Cache, CacheConfig
+
+
+def _cache(size=1024, ways=2):
+    return Cache(CacheConfig(size_bytes=size, ways=ways))
+
+
+class TestCacheBasics:
+    def test_geometry(self):
+        config = CacheConfig(size_bytes=16 * 1024, ways=4)
+        assert config.sets == 64
+        assert config.lines == 256
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, ways=3)
+
+    def test_cold_miss_then_hit(self):
+        cache = _cache()
+        hit, victim = cache.access(0, is_write=False)
+        assert not hit and victim is None
+        hit, _ = cache.access(0, is_write=False)
+        assert hit
+
+    def test_same_line_different_offsets_hit(self):
+        cache = _cache()
+        cache.access(0, is_write=False)
+        hit, _ = cache.access(63, is_write=False)
+        assert hit
+
+    def test_lru_eviction(self):
+        cache = _cache(size=256, ways=2)  # 2 sets
+        sets = cache.config.sets
+        stride = sets * 64  # same set
+        cache.access(0, is_write=False)
+        cache.access(stride, is_write=False)
+        cache.access(0, is_write=False)  # refresh LRU
+        cache.access(2 * stride, is_write=False)  # evicts `stride`
+        hit, _ = cache.access(0, is_write=False)
+        assert hit
+        hit, _ = cache.access(stride, is_write=False)
+        assert not hit
+
+    def test_clean_eviction_returns_none(self):
+        cache = _cache(size=256, ways=1)
+        stride = cache.config.sets * 64
+        cache.access(0, is_write=False)
+        _, victim = cache.access(stride, is_write=False)
+        assert victim is None
+
+    def test_dirty_eviction_returns_victim_address(self):
+        cache = _cache(size=256, ways=1)
+        stride = cache.config.sets * 64
+        cache.access(64, is_write=True)
+        _, victim = cache.access(64 + stride, is_write=False)
+        assert victim == 64
+        assert cache.dirty_evictions == 1
+
+    def test_write_hit_dirties_line(self):
+        cache = _cache()
+        cache.access(0, is_write=False)
+        cache.access(0, is_write=True)
+        assert cache.dirty_count() == 1
+
+    def test_flush_dirty_cleans(self):
+        cache = _cache()
+        cache.access(0, is_write=True)
+        cache.access(128, is_write=True)   # distinct set
+        cache.access(256, is_write=False)  # clean line
+        flushed = cache.flush_dirty()
+        assert sorted(flushed) == [0, 128]
+        assert cache.dirty_count() == 0
+        # lines stay resident after a flush
+        hit, _ = cache.access(0, is_write=False)
+        assert hit
+
+    def test_dirty_lines_reports_addresses(self):
+        cache = _cache()
+        cache.access(128, is_write=True)
+        assert cache.dirty_lines() == [128]
+
+    def test_invalidate_all(self):
+        cache = _cache()
+        cache.access(0, is_write=True)
+        cache.invalidate_all()
+        assert cache.occupancy == 0
+        hit, _ = cache.access(0, is_write=False)
+        assert not hit
+
+    def test_hit_ratio_accounting(self):
+        cache = _cache()
+        cache.access(0, is_write=False)
+        cache.access(0, is_write=False)
+        cache.access(0, is_write=True)
+        assert cache.read_hit_ratio == pytest.approx(0.5)
+        assert cache.write_hit_ratio == pytest.approx(1.0)
+
+
+class TestCacheProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1 << 16), st.booleans()),
+                    min_size=1, max_size=400))
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        cache = _cache(size=512, ways=2)
+        for address, is_write in accesses:
+            cache.access(address, is_write)
+            assert cache.occupancy <= cache.config.lines
+            assert cache.dirty_count() <= cache.occupancy
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 1 << 14), st.booleans()),
+                    min_size=1, max_size=300))
+    def test_flush_then_no_dirty_evictions(self, accesses):
+        cache = _cache(size=512, ways=2)
+        for address, is_write in accesses:
+            cache.access(address, is_write)
+        cache.flush_dirty()
+        # after a flush, reading new lines never produces dirty victims
+        before = cache.dirty_evictions
+        for i in range(cache.config.lines * 2):
+            cache.access(1 << 20 | (i * 64), is_write=False)
+        assert cache.dirty_evictions == before
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 12), min_size=1, max_size=100))
+    def test_working_set_within_capacity_always_hits_after_warmup(self, lines):
+        cache = Cache(CacheConfig(size_bytes=16 * 1024, ways=4))
+        addresses = [l * 64 % (8 * 1024) for l in lines]
+        for address in addresses:
+            cache.access(address, is_write=False)
+        for address in addresses:
+            hit, _ = cache.access(address, is_write=False)
+            assert hit  # 8 KB footprint in a 16 KB cache

@@ -1,0 +1,79 @@
+"""Tests for the ASCII chart renderers."""
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.analysis.charts import bar_chart, chart_result, series_strip
+
+
+class TestBarChart:
+    def test_proportional_bars(self):
+        text = bar_chart(["a", "b"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("█") * 2 == pytest.approx(
+            lines[1].count("█"), abs=2)
+
+    def test_labels_aligned(self):
+        text = bar_chart(["short", "a-much-longer-label"], [1, 1])
+        starts = [line.index("█") for line in text.splitlines()]
+        assert len(set(starts)) == 1
+
+    def test_values_printed(self):
+        assert "3.5x" in bar_chart(["w"], [3.5], unit="x")
+
+    def test_baseline_marker(self):
+        text = bar_chart(["a"], [4.0], width=20, baseline=2.0)
+        assert "|" in text
+
+    def test_title(self):
+        assert bar_chart(["a"], [1.0], title="Fig. X").startswith("Fig. X")
+
+    def test_mismatched_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty_ok(self):
+        assert bar_chart([], [], title="t") == "t"
+
+    def test_zero_values_do_not_crash(self):
+        assert bar_chart(["a", "b"], [0.0, 0.0])
+
+
+class TestSeriesStrip:
+    def test_height_rows(self):
+        text = series_strip([1, 2, 3, 4], height=3)
+        assert sum(1 for l in text.splitlines() if l.startswith("|")) == 3
+
+    def test_peak_reported(self):
+        assert "peak=4" in series_strip([1, 4, 2])
+
+    def test_monotone_series_renders_staircase(self):
+        text = series_strip([1, 2, 3, 4, 5], height=5)
+        top = [l for l in text.splitlines() if l.startswith("|")][0]
+        # only the tallest value reaches the top row
+        assert top.count("█") == 1
+
+
+class TestChartResult:
+    def _result(self):
+        return ExperimentResult(
+            experiment="figX", title="t",
+            columns=["workload", "ratio"],
+            rows=[["aes", 1.5], ["mcf", 3.0]],
+        )
+
+    def test_charts_a_column(self):
+        text = chart_result(self._result(), "ratio")
+        assert "aes" in text and "mcf" in text
+        assert "figX: ratio" in text
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(ValueError):
+            chart_result(self._result(), "nope")
+
+    def test_real_figure(self):
+        from repro.analysis import figure8
+
+        result = figure8()
+        text = chart_result(result, "ms")
+        assert "sng/busy" in text

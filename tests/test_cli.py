@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--workload", "doom"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.workload == "redis"
+        assert args.platform == "lightpc"
+
+
+class TestCommands:
+    def test_run(self, capsys):
+        assert main(["run", "--workload", "aes", "--refs", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "aes on lightpc" in out
+        assert "W," in out
+
+    def test_run_legacy(self, capsys):
+        assert main(["run", "--workload", "aes", "--platform", "legacy",
+                     "--refs", "2000"]) == 0
+        assert "legacy" in capsys.readouterr().out
+
+    def test_drill_survives(self, capsys):
+        assert main(["drill", "--workload", "aes", "--refs", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "SURVIVED" in out
+        assert "EP-cut state intact: True" in out
+
+    def test_characterize(self, capsys):
+        assert main(["characterize", "--workload", "mcf",
+                     "--refs", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "read/write ratio" in out
+        assert "D$ read hit" in out
+
+    def test_bench_single(self, capsys):
+        assert main(["bench", "tab1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_bench_fig8(self, capsys):
+        assert main(["bench", "fig8"]) == 0
+        assert "sng/busy" in capsys.readouterr().out
+
+    def test_fuzz_sector(self, capsys):
+        assert main(["fuzz", "sector", "--trials", "3"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_fuzz_pool(self, capsys):
+        assert main(["fuzz", "pool", "--trials", "4"]) == 0
+        assert "pmdk-pool" in capsys.readouterr().out
+
+    def test_trace_export_and_stats(self, capsys, tmp_path):
+        out = tmp_path / "aes.trace"
+        assert main(["trace", "export", "--workload", "aes",
+                     "--refs", "1000", "--out", str(out)]) == 0
+        assert out.exists()
+        assert main(["trace", "stats", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "records" in text and "write_fraction" in text
+
+    def test_bench_export(self, capsys, tmp_path):
+        assert main(["bench", "fig8", "--export", str(tmp_path)]) == 0
+        assert (tmp_path / "fig8.json").exists()
+        assert (tmp_path / "fig8.csv").exists()

@@ -1,0 +1,79 @@
+"""Tests for the result-comparison regression tool."""
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.analysis.compare import compare_files, compare_results
+from repro.analysis.export import to_json
+
+
+def _result(**overrides):
+    payload = dict(
+        experiment="figX",
+        title="t",
+        columns=["workload", "ratio"],
+        rows=[["aes", 1.50], ["mcf", 3.00]],
+        notes={"mean": 2.25},
+    )
+    payload.update(overrides)
+    return ExperimentResult(**payload)
+
+
+class TestCompareResults:
+    def test_identical(self):
+        assert compare_results(_result(), _result()).identical
+
+    def test_within_tolerance(self):
+        candidate = _result(rows=[["aes", 1.51], ["mcf", 3.01]],
+                            notes={"mean": 2.26})
+        assert compare_results(_result(), candidate, rel_tol=0.02).identical
+
+    def test_numeric_drift_detected(self):
+        candidate = _result(rows=[["aes", 1.50], ["mcf", 4.20]])
+        comparison = compare_results(_result(), candidate)
+        assert not comparison.identical
+        assert any("mcf" in str(d) for d in comparison.differences)
+
+    def test_note_drift_detected(self):
+        comparison = compare_results(_result(), _result(notes={"mean": 9.0}))
+        assert any("note[mean]" in str(d) for d in comparison.differences)
+
+    def test_row_reordering_is_not_a_diff(self):
+        candidate = _result(rows=[["mcf", 3.00], ["aes", 1.50]])
+        assert compare_results(_result(), candidate).identical
+
+    def test_missing_row_detected(self):
+        candidate = _result(rows=[["aes", 1.50]])
+        comparison = compare_results(_result(), candidate)
+        assert any("missing" in str(d) for d in comparison.differences)
+
+    def test_different_experiments_refuse(self):
+        comparison = compare_results(_result(), _result(experiment="figY"))
+        assert comparison.differences[0].where == "experiment"
+
+    def test_column_change_refuses(self):
+        candidate = _result(columns=["workload", "speedup"])
+        assert compare_results(_result(), candidate).differences
+
+    def test_summary_strings(self):
+        assert "identical" in compare_results(_result(), _result()).summary()
+        drifted = compare_results(_result(), _result(notes={"mean": 9.0}))
+        assert "differences" in drifted.summary()
+
+
+class TestCompareFiles:
+    def test_file_round_trip(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(to_json(_result()))
+        b.write_text(to_json(_result(rows=[["aes", 1.5], ["mcf", 3.3]])))
+        comparison = compare_files(a, b, rel_tol=0.02)
+        assert not comparison.identical
+
+    def test_real_experiment_self_compare(self, tmp_path):
+        from repro.analysis import figure8
+
+        result = figure8()
+        path = tmp_path / "fig8.json"
+        path.write_text(to_json(result))
+        assert compare_files(path, path).identical

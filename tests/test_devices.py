@@ -1,0 +1,178 @@
+"""Tests for the raw device models (PRAM, DRAM, SRAM buffer)."""
+
+import pytest
+
+from repro.memory import AddressSpaceError, DRAMDevice, PRAMDevice, SRAMBuffer
+from repro.memory.device import DeviceBusyError, PRAMTiming
+
+
+class TestPRAMDevice:
+    def test_read_latency(self):
+        die = PRAMDevice(capacity=4096)
+        complete, _ = die.read(0.0, 0, 32)
+        assert complete == die.timing.read_ns
+
+    def test_synchronous_write_waits_for_stability(self):
+        die = PRAMDevice(capacity=4096)
+        complete, stable = die.write(0.0, 0, size=32)
+        assert complete == die.timing.write_occupancy_ns
+        assert stable == die.timing.write_occupancy_ns
+        # the die itself frees at the pulse, before the row is stable
+        assert die.busy_until == die.timing.write_service_ns
+
+    def test_early_return_write_completes_at_accept(self):
+        die = PRAMDevice(capacity=4096)
+        complete, occupied = die.write(0.0, 0, size=32, early_return=True)
+        assert complete == die.timing.accept_ns
+        assert occupied == die.timing.write_occupancy_ns
+
+    def test_writes_pipeline_at_pulse_rate_across_rows(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, size=32)
+        die.write(0.0, 2048, size=32)  # different 1 KB row
+        assert die.busy_until == pytest.approx(
+            2 * die.timing.write_service_ns)
+
+    def test_overwrite_of_cooling_row_waits(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, size=32)
+        _, stable = die.write(0.0, 32, size=32)  # same row: wait cooling
+        assert stable == pytest.approx(2 * die.timing.write_occupancy_ns)
+
+    def test_read_after_write_waits_out_cooling(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, size=32)
+        complete, _ = die.read(10.0, 0, 32)  # same row
+        assert complete == pytest.approx(
+            die.timing.write_occupancy_ns + die.timing.read_ns
+        )
+
+    def test_read_of_other_row_waits_only_for_pulse(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, size=32)
+        complete, _ = die.read(10.0, 2048, 32)
+        assert complete == pytest.approx(
+            die.timing.write_service_ns + die.timing.read_ns
+        )
+
+    def test_nonblocking_read_raises_when_busy(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, size=32)
+        with pytest.raises(DeviceBusyError):
+            die.read(10.0, 0, 32, blocking=False)
+
+    def test_busy_wait(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, size=32)
+        assert die.busy_wait(100.0) == pytest.approx(
+            die.timing.write_service_ns - 100.0
+        )
+        assert die.busy_wait(100.0, 0) == pytest.approx(
+            die.timing.write_occupancy_ns - 100.0
+        )
+        assert die.busy_wait(1e9) == 0.0
+
+    def test_storage_roundtrip(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 64, data=b"\xAA" * 32)
+        complete, data = die.read(2000.0, 64, 32)
+        assert data == b"\xAA" * 32
+
+    def test_storage_bounds(self):
+        die = PRAMDevice(capacity=64)
+        with pytest.raises(AddressSpaceError):
+            die.write(0.0, 48, size=32)
+
+    def test_write_requires_data_or_size(self):
+        die = PRAMDevice(capacity=4096)
+        with pytest.raises(ValueError):
+            die.write(0.0, 0)
+
+    def test_power_cycle_preserves_contents(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, data=b"\x11" * 32)
+        die.power_cycle()
+        assert die.busy_until == 0.0
+        assert die.peek(0, 32) == b"\x11" * 32
+
+    def test_wear_tracking_opt_in(self):
+        die = PRAMDevice(capacity=4096)
+        die.write(0.0, 0, size=32)
+        assert die.max_wear() == 0
+        die.track_wear = True
+        die.write(0.0, 0, size=32)
+        die.write(0.0, 0, size=32)
+        assert die.max_wear() == 2
+
+    def test_custom_timing(self):
+        timing = PRAMTiming(read_ns=10.0, write_service_ns=100.0,
+                            cooling_ns=50.0)
+        die = PRAMDevice(capacity=64, timing=timing)
+        complete, stable = die.write(0.0, 0, size=32)
+        assert (complete, stable) == (150.0, 150.0)
+        assert die.busy_until == 100.0
+
+
+class TestDRAMDevice:
+    def test_row_hit_faster_than_miss(self):
+        bank = DRAMDevice(capacity=4096)
+        hit, _ = bank.access(0.0, 0, 64, is_write=False, row_hit=True)
+        bank.busy_until = 0.0
+        miss, _ = bank.access(0.0, 0, 64, is_write=False, row_hit=False)
+        assert hit < miss
+
+    def test_write_storage_and_volatility(self):
+        bank = DRAMDevice(capacity=4096)
+        bank.access(0.0, 0, 4, is_write=True, row_hit=True, data=b"abcd")
+        _, data = bank.access(100.0, 0, 4, is_write=False, row_hit=True)
+        assert data == b"abcd"
+        bank.power_cycle()
+        _, data = bank.access(0.0, 0, 4, is_write=False, row_hit=True)
+        assert data is None  # contents destroyed
+
+    def test_refresh_stalls_bank(self):
+        bank = DRAMDevice(capacity=4096)
+        done = bank.refresh(0.0)
+        assert done == bank.timing.refresh_ns
+        complete, _ = bank.access(0.0, 0, 64, is_write=False, row_hit=True)
+        assert complete >= done
+
+    def test_accesses_serialize(self):
+        bank = DRAMDevice(capacity=4096)
+        first, _ = bank.access(0.0, 0, 64, is_write=False, row_hit=True)
+        second, _ = bank.access(0.0, 64, 64, is_write=False, row_hit=True)
+        assert second == pytest.approx(2 * bank.timing.row_hit_ns)
+
+
+class TestSRAMBuffer:
+    def test_lookup_miss_then_hit(self):
+        sram = SRAMBuffer(frames=4)
+        assert not sram.lookup(0)
+        sram.fill(0)
+        assert sram.lookup(0)
+        assert sram.hits == 1 and sram.misses == 1
+
+    def test_frame_granularity(self):
+        sram = SRAMBuffer(frames=4, frame_bytes=256)
+        sram.fill(0)
+        assert sram.lookup(255)
+        assert not sram.lookup(256)
+
+    def test_lru_eviction(self):
+        sram = SRAMBuffer(frames=2, frame_bytes=256)
+        sram.fill(0)
+        sram.fill(256)
+        sram.lookup(0)  # make frame 0 MRU
+        evicted = sram.fill(512)
+        assert evicted == 256
+
+    def test_invalidate_all(self):
+        sram = SRAMBuffer(frames=2)
+        sram.fill(0)
+        sram.invalidate_all()
+        assert sram.occupancy == 0
+        assert not sram.lookup(0)
+
+    def test_zero_frames_rejected(self):
+        with pytest.raises(ValueError):
+            SRAMBuffer(frames=0)

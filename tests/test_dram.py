@@ -1,0 +1,93 @@
+"""Tests for the DRAM subsystem."""
+
+import pytest
+
+from repro.memory import (
+    DRAMConfig,
+    DRAMSubsystem,
+    MemoryOp,
+    MemoryRequest,
+    ROW_BYTES,
+)
+
+
+def _read(dram, address, time=0.0):
+    return dram.access(MemoryRequest(MemoryOp.READ, address=address, time=time))
+
+
+class TestDRAMSubsystem:
+    def test_row_hit_vs_miss_latency(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        miss = _read(dram, 0)
+        hit = _read(dram, 64, time=miss.complete_time)
+        assert hit.latency < miss.latency
+
+    def test_rows_interleave_across_ranks(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22, ranks=4))
+        assert dram.rank_of(0) == 0
+        assert dram.rank_of(ROW_BYTES) == 1
+        assert dram.rank_of(4 * ROW_BYTES) == 0
+
+    def test_parallel_ranks_do_not_serialize(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22, ranks=4))
+        a = _read(dram, 0)
+        b = _read(dram, ROW_BYTES)  # different rank
+        assert b.latency == pytest.approx(a.latency)
+
+    def test_same_rank_back_to_back_serializes(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22, ranks=4))
+        a = _read(dram, 0)
+        b = _read(dram, 64)  # same rank, same instant
+        assert b.complete_time > a.complete_time
+
+    def test_refresh_applied_lazily(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        interval = dram.config.timing.refresh_interval_ns
+        _read(dram, 0, time=interval * 3 + 1.0)
+        assert dram.refresh_count == 3
+
+    def test_flush_drains(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        _read(dram, 0)
+        response = dram.access(MemoryRequest(MemoryOp.FLUSH, time=0.0))
+        assert response.complete_time >= dram.config.timing.row_miss_ns
+
+    def test_reset_rejected(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        with pytest.raises(ValueError):
+            dram.access(MemoryRequest(MemoryOp.RESET))
+
+    def test_oversized_request_rejected(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        with pytest.raises(ValueError):
+            dram.access(MemoryRequest(MemoryOp.READ, size=128))
+
+    def test_functional_roundtrip_and_volatility(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        dram.access(MemoryRequest(
+            MemoryOp.WRITE, address=256, size=64, data=b"\x5A" * 64))
+        read = _read(dram, 256, time=1000.0)
+        assert read.data == b"\x5A" * 64
+        dram.power_cycle()
+        read = _read(dram, 256)
+        assert read.data is None
+
+    def test_is_volatile_flag(self):
+        assert DRAMSubsystem(DRAMConfig(capacity=1 << 22)).is_volatile
+
+    def test_counters(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        _read(dram, 0)
+        dram.access(MemoryRequest(MemoryOp.WRITE, address=0, time=100.0))
+        counters = dram.counters()
+        assert counters["reads"] == 1 and counters["writes"] == 1
+
+    def test_capacity_must_divide_into_ranks(self):
+        with pytest.raises(ValueError):
+            DRAMConfig(capacity=ROW_BYTES * 3, ranks=2)
+
+    def test_hit_ratio_tracked(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        _read(dram, 0)
+        _read(dram, 64, time=200.0)
+        assert dram.row_hit_ratio == pytest.approx(0.5)

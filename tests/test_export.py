@@ -1,0 +1,72 @@
+"""Tests for experiment-result export (CSV/JSON round trips)."""
+
+import json
+
+import pytest
+
+from repro.analysis import ExperimentResult
+from repro.analysis.export import (
+    result_from_json,
+    to_csv,
+    to_json,
+    write_results,
+)
+
+
+@pytest.fixture
+def result():
+    return ExperimentResult(
+        experiment="figX",
+        title="A test figure",
+        columns=["name", "value", "ok"],
+        rows=[["alpha", 1.5, True], ["beta", 2, False]],
+        notes={"headline": 3.25},
+    )
+
+
+class TestCsv:
+    def test_header_and_rows(self, result):
+        text = to_csv(result)
+        lines = text.strip().splitlines()
+        assert lines[0] == "name,value,ok"
+        assert lines[1] == "alpha,1.5,True"
+
+    def test_notes_as_comments(self, result):
+        assert "# headline = 3.25" in to_csv(result)
+
+
+class TestJson:
+    def test_round_trip(self, result):
+        restored = result_from_json(to_json(result))
+        assert restored.experiment == result.experiment
+        assert restored.columns == result.columns
+        assert restored.rows == result.rows
+        assert restored.notes == result.notes
+
+    def test_valid_json(self, result):
+        payload = json.loads(to_json(result))
+        assert payload["title"] == "A test figure"
+
+    def test_malformed_rejected(self):
+        with pytest.raises(ValueError):
+            result_from_json('{"experiment": "x"}')
+
+
+class TestWriteResults:
+    def test_writes_both_formats(self, result, tmp_path):
+        paths = write_results([result], tmp_path)
+        names = {p.name for p in paths}
+        assert names == {"figX.csv", "figX.json"}
+        assert (tmp_path / "figX.json").exists()
+
+    def test_unknown_format_rejected(self, result, tmp_path):
+        with pytest.raises(ValueError):
+            write_results([result], tmp_path, formats=("xml",))
+
+    def test_real_experiment_exports(self, tmp_path):
+        from repro.analysis import figure8
+
+        paths = write_results([figure8()], tmp_path, formats=("json",))
+        restored = result_from_json(paths[0].read_text())
+        assert restored.experiment == "fig8"
+        assert restored.notes["busy_stop_ms"] > 0

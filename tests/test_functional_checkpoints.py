@@ -1,0 +1,125 @@
+"""Tests for the functional checkpoint substrates (A/S-CheckPC, SysPC)."""
+
+import pytest
+
+from repro.ocpmem import PSM, PSMConfig
+from repro.persistence.functional import (
+    ApplicationCheckpointer,
+    CheckpointArea,
+    CheckpointError,
+    SystemCheckpointer,
+    SystemImager,
+)
+
+AREA_BASE = 1 << 16
+AREA_LEN = 1 << 16
+
+
+def _area():
+    psm = PSM(PSMConfig(lines_per_dimm=1 << 12), functional=True)
+    return psm, CheckpointArea(psm, base=AREA_BASE, length=AREA_LEN)
+
+
+class TestCheckpointArea:
+    def test_append_scan_roundtrip(self):
+        _, area = _area()
+        area.append(b"hello world", tag=7)
+        area.append(b"second", tag=8)
+        records = area.scan()
+        assert records == [(7, b"hello world"), (8, b"second")]
+
+    def test_alignment_validated(self):
+        psm, _ = _area()
+        with pytest.raises(CheckpointError):
+            CheckpointArea(psm, base=10, length=64)
+
+    def test_area_full(self):
+        psm, _ = _area()
+        area = CheckpointArea(psm, base=AREA_BASE, length=128)
+        area.append(b"x" * 64)
+        with pytest.raises(CheckpointError):
+            area.append(b"y" * 64)
+
+    def test_durable_record_survives_power_cycle(self):
+        psm, area = _area()
+        area.append(b"durable", tag=1)
+        psm.power_cycle()
+        assert area.scan() == [(1, b"durable")]
+
+    def test_undurable_tail_is_torn_off(self):
+        psm, area = _area()
+        area.append(b"committed", tag=1)
+        area.append(b"in-flight", tag=2, durable=False)
+        psm.power_cycle()  # rails die before the flush
+        assert area.scan() == [(1, b"committed")]
+
+
+class TestApplicationCheckpointer:
+    def test_checkpoint_restore(self):
+        _, area = _area()
+        ckpt = ApplicationCheckpointer(area)
+        ckpt.checkpoint({"stack": b"\x01\x02", "heap": b"\x03" * 32})
+        restored = ckpt.restore_latest()
+        assert restored == {"stack": b"\x01\x02", "heap": b"\x03" * 32}
+
+    def test_latest_committed_wins(self):
+        psm, area = _area()
+        ckpt = ApplicationCheckpointer(area)
+        ckpt.checkpoint({"x": b"old"})
+        ckpt.checkpoint({"x": b"new"})
+        psm.power_cycle()
+        assert ckpt.restore_latest() == {"x": b"new"}
+
+    def test_work_after_last_checkpoint_lost(self):
+        psm, area = _area()
+        ckpt = ApplicationCheckpointer(area)
+        ckpt.checkpoint({"x": b"safe"})
+        ckpt.checkpoint({"x": b"doomed"}, durable=False)
+        psm.power_cycle()
+        assert ckpt.restore_latest() == {"x": b"safe"}
+
+    def test_no_checkpoints(self):
+        _, area = _area()
+        assert ApplicationCheckpointer(area).restore_latest() is None
+
+
+class TestSystemCheckpointer:
+    def test_per_task_vma_dumps(self):
+        _, area = _area()
+        sckpt = SystemCheckpointer(area)
+        sckpt.dump_task(11, {0x1000: b"\xAA" * 64, 0x4000: b"\xBB" * 16})
+        sckpt.dump_task(12, {0x1000: b"\xCC" * 8})
+        assert sckpt.restore_task(11) == {
+            0x1000: b"\xAA" * 64, 0x4000: b"\xBB" * 16}
+        assert sckpt.restore_task(12) == {0x1000: b"\xCC" * 8}
+        assert sckpt.restore_task(99) is None
+
+    def test_periodic_dumps_keep_newest(self):
+        psm, area = _area()
+        sckpt = SystemCheckpointer(area)
+        sckpt.dump_task(11, {0x1000: b"epoch-1"})
+        sckpt.dump_task(11, {0x1000: b"epoch-2"})
+        psm.power_cycle()
+        assert sckpt.restore_task(11) == {0x1000: b"epoch-2"}
+
+
+class TestSystemImager:
+    def test_image_roundtrip(self):
+        psm, area = _area()
+        imager = SystemImager(area)
+        image = bytes(range(256)) * 8
+        imager.dump(image)
+        psm.power_cycle()
+        assert imager.load() == image
+
+    def test_interrupted_dump_leaves_previous_image(self):
+        psm, area = _area()
+        imager = SystemImager(area)
+        imager.dump(b"good-image" * 10)
+        imager.dump(b"torn-image" * 10, interrupted=True)
+        psm.power_cycle()
+        assert imager.load() == b"good-image" * 10
+
+    def test_no_image(self):
+        _, area = _area()
+        assert SystemImager(area).load() is None

@@ -1,0 +1,82 @@
+"""Tests for memory request types and address helpers."""
+
+import pytest
+
+from repro.memory import (
+    CACHELINE_BYTES,
+    AddressSpaceError,
+    MemoryOp,
+    MemoryRequest,
+    MemoryResponse,
+    cacheline_of,
+    row_of,
+    split_cacheline,
+)
+
+
+class TestMemoryRequest:
+    def test_defaults(self):
+        r = MemoryRequest(MemoryOp.READ, address=128)
+        assert r.size == CACHELINE_BYTES
+        assert r.is_read and not r.is_write
+        assert r.end_address == 128 + 64
+
+    def test_write_flag(self):
+        assert MemoryRequest(MemoryOp.WRITE).is_write
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(AddressSpaceError):
+            MemoryRequest(MemoryOp.READ, address=-1)
+
+    def test_zero_size_rejected_for_data_ops(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(MemoryOp.READ, size=0)
+
+    def test_data_length_must_match_size(self):
+        with pytest.raises(ValueError):
+            MemoryRequest(MemoryOp.WRITE, size=64, data=b"\x00" * 32)
+
+    def test_data_accepted_when_matching(self):
+        r = MemoryRequest(MemoryOp.WRITE, size=4, data=b"abcd")
+        assert r.data == b"abcd"
+
+
+class TestMemoryResponse:
+    def test_latency(self):
+        req = MemoryRequest(MemoryOp.READ, time=10.0)
+        resp = MemoryResponse(req, complete_time=35.0)
+        assert resp.latency == 25.0
+
+    def test_occupied_never_before_complete(self):
+        req = MemoryRequest(MemoryOp.WRITE, time=0.0)
+        resp = MemoryResponse(req, complete_time=50.0, occupied_until=10.0)
+        assert resp.occupied_until == 50.0
+
+    def test_occupied_preserved_when_later(self):
+        req = MemoryRequest(MemoryOp.WRITE, time=0.0)
+        resp = MemoryResponse(req, complete_time=50.0, occupied_until=400.0)
+        assert resp.occupied_until == 400.0
+
+
+class TestAddressHelpers:
+    def test_cacheline_of(self):
+        assert cacheline_of(0) == 0
+        assert cacheline_of(63) == 0
+        assert cacheline_of(64) == 64
+        assert cacheline_of(130) == 128
+
+    def test_row_of(self):
+        assert row_of(0) == 0
+        assert row_of(4095) == 0
+        assert row_of(4096) == 1
+
+    def test_split_cacheline_pram(self):
+        assert split_cacheline(0x80, 32) == [0x80, 0xA0]
+
+    def test_split_cacheline_dram(self):
+        beats = split_cacheline(0, 8)
+        assert len(beats) == 8
+        assert beats[-1] == 56
+
+    def test_split_unaligned_address_snaps_to_line(self):
+        assert split_cacheline(0x8C, 32) == [0x80, 0xA0]

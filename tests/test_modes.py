@@ -1,0 +1,71 @@
+"""Tests for the five PMEM operating-mode configurations (Fig. 4 setups)."""
+
+import pytest
+
+from repro.memory import DRAMSubsystem
+from repro.pmem import MODE_NAMES, NMEMController, PMEMController, build_mode
+from repro.pmem.modes import SoftwareOverhead
+
+
+class TestBuildMode:
+    def test_all_modes_build(self):
+        for name in MODE_NAMES:
+            mode = build_mode(name)
+            assert mode.name == name
+            assert hasattr(mode.backend, "access")
+            assert hasattr(mode.backend, "drain")
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_mode("turbo_mode")
+
+    def test_dram_only_backend(self):
+        mode = build_mode("dram_only")
+        assert isinstance(mode.backend, DRAMSubsystem)
+        assert mode.backend.is_volatile
+        assert mode.pmem is None
+
+    def test_mem_mode_is_volatile_cached_pmem(self):
+        mode = build_mode("mem_mode")
+        assert isinstance(mode.backend, NMEMController)
+        assert mode.backend.is_volatile  # memory mode drops non-volatility
+        assert mode.dram is not None and mode.pmem is not None
+
+    def test_app_direct_is_nonvolatile(self):
+        mode = build_mode("app_mode")
+        assert isinstance(mode.backend, PMEMController)
+        assert not mode.backend.is_volatile
+
+    def test_capacity_scaling(self):
+        mode = build_mode("app_mode", pmem_capacity=1 << 24, pmem_dimms=4)
+        assert len(mode.pmem.dimms) == 4
+        assert mode.pmem.capacity == 1 << 24
+
+
+class TestOverheads:
+    def test_dram_and_mem_mode_have_no_software_cost(self):
+        for name in ("dram_only", "mem_mode"):
+            overhead = build_mode(name).overhead
+            assert overhead.read_cost() == 0.0
+            assert overhead.write_cost() == 0.0
+
+    def test_overheads_escalate_across_modes(self):
+        costs = {
+            name: build_mode(name).overhead.write_cost()
+            for name in MODE_NAMES
+        }
+        assert costs["dram_only"] <= costs["app_mode"] \
+            <= costs["object_mode"] < costs["trans_mode"]
+
+    def test_trans_mode_flushes_stores(self):
+        assert build_mode("trans_mode").overhead.extra_flush_writes > 0
+        assert build_mode("object_mode").overhead.extra_flush_writes == 0
+
+    def test_coverage_scales_costs(self):
+        full = SoftwareOverhead(per_read_ns=100.0, coverage=1.0)
+        half = SoftwareOverhead(per_read_ns=100.0, coverage=0.5)
+        assert half.read_cost() == pytest.approx(full.read_cost() / 2)
+
+    def test_trans_reads_also_pay(self):
+        overhead = build_mode("trans_mode").overhead
+        assert overhead.read_cost() > build_mode("object_mode").overhead.read_cost()

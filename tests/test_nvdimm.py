@@ -1,0 +1,110 @@
+"""Tests for the Bare-NVDIMM channel layouts."""
+
+import pytest
+
+from repro.ocpmem import BareNVDIMM
+
+
+class TestGeometry:
+    def test_dual_channel_groups(self):
+        dimm = BareNVDIMM(lines=256, layout="dual_channel")
+        assert dimm.groups == 4
+        assert dimm.dies_per_group == 2
+        assert len(dimm.dies) == 8
+
+    def test_dram_like_single_group(self):
+        dimm = BareNVDIMM(lines=256, layout="dram_like")
+        assert dimm.groups == 1
+        assert dimm.dies_per_group == 8
+
+    def test_unknown_layout_rejected(self):
+        with pytest.raises(ValueError):
+            BareNVDIMM(lines=256, layout="weird")
+
+    def test_lines_validation(self):
+        with pytest.raises(ValueError):
+            BareNVDIMM(lines=0)
+
+    def test_group_of_interleaves(self):
+        dimm = BareNVDIMM(lines=256)
+        assert [dimm.group_of(i) for i in range(5)] == [0, 1, 2, 3, 0]
+
+    def test_slots_dual_channel(self):
+        dimm = BareNVDIMM(lines=256)
+        slots = dimm.slots_of(0)
+        assert len(slots) == 2
+        assert slots[0].die == 0 and slots[1].die == 1
+        slots = dimm.slots_of(1)
+        assert slots[0].die == 2 and slots[1].die == 3
+
+    def test_slots_advance_within_group(self):
+        dimm = BareNVDIMM(lines=256)
+        a = dimm.slots_of(0)[0].address
+        b = dimm.slots_of(4)[0].address
+        assert b == a + 64  # half + parity per slot
+
+    def test_slots_dram_like_touch_all_dies(self):
+        dimm = BareNVDIMM(lines=256, layout="dram_like")
+        assert len(dimm.slots_of(0)) == 8
+
+    def test_line_bounds(self):
+        dimm = BareNVDIMM(lines=16)
+        with pytest.raises(ValueError):
+            dimm.slots_of(16)
+
+
+class TestFunctionalStorage:
+    def test_store_load_roundtrip_with_parity(self):
+        dimm = BareNVDIMM(lines=64)
+        line = bytes(range(64))
+        dimm.store_line(3, line)
+        half0, parity0 = dimm.load_slot(3, 0)
+        half1, parity1 = dimm.load_slot(3, 1)
+        assert half0 + half1 == line
+        assert parity0 == parity1
+        assert bytes(a ^ b for a, b in zip(half0, half1)) == parity0
+
+    def test_store_requires_full_line(self):
+        dimm = BareNVDIMM(lines=64)
+        with pytest.raises(ValueError):
+            dimm.store_line(0, b"short")
+
+    def test_dram_like_has_no_functional_storage(self):
+        dimm = BareNVDIMM(lines=64, layout="dram_like")
+        with pytest.raises(ValueError):
+            dimm.store_line(0, bytes(64))
+
+    def test_corruption_flag_and_clear(self):
+        dimm = BareNVDIMM(lines=64)
+        dimm.store_line(0, bytes(64))
+        dimm.corrupt_slot(0, 0)
+        assert dimm.is_corrupt(0, 0)
+        assert not dimm.is_corrupt(0, 1)
+        dimm.store_line(0, bytes(64))  # rewrite heals the slot
+        assert not dimm.is_corrupt(0, 0)
+
+    def test_corruption_changes_bytes(self):
+        dimm = BareNVDIMM(lines=64)
+        dimm.store_line(0, bytes(64))
+        before, _ = dimm.load_slot(0, 0)
+        dimm.corrupt_slot(0, 0)
+        after, _ = dimm.load_slot(0, 0)
+        assert before != after
+
+    def test_wipe_clears_everything(self):
+        dimm = BareNVDIMM(lines=64)
+        dimm.store_line(0, bytes(range(64)))
+        dimm.corrupt_slot(0, 0)
+        dimm.wipe()
+        assert not dimm.is_corrupt(0, 0)
+        half, parity = dimm.load_slot(0, 0)
+        assert half == bytes(32)
+
+    def test_power_cycle_keeps_contents(self):
+        dimm = BareNVDIMM(lines=64)
+        dimm.store_line(5, bytes(range(64)))
+        dimm.dies[0].write(0.0, 0, size=32)
+        dimm.power_cycle()
+        half0, _ = dimm.load_slot(5, 0)
+        assert half0 == bytes(range(32))
+        assert all(d.busy_until == 0.0 for d in dimm.dies)

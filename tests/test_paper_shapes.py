@@ -1,0 +1,272 @@
+"""Paper-shape assertions: the headline relations of every figure.
+
+These check *shapes* — who wins, by roughly what factor, where the
+crossovers fall — with deliberately wide tolerances.  Absolute numbers
+differ from the paper (our substrate is a Python simulation of a
+hardware prototype); EXPERIMENTS.md records paper-vs-measured values.
+"""
+
+import pytest
+
+from repro.analysis import (
+    figure2b,
+    figure4,
+    figure8,
+    figure15,
+    figure16,
+    figure17,
+    figure18,
+    figure19,
+    figure20,
+    figure22,
+)
+from repro.analysis.experiments import FAST_SUBSET
+
+REFS = 12_000
+
+
+@pytest.fixture(scope="module")
+def fig15():
+    return figure15(FAST_SUBSET, refs=REFS)
+
+
+@pytest.fixture(scope="module")
+def fig16():
+    return figure16(FAST_SUBSET, refs=REFS)
+
+
+@pytest.fixture(scope="module")
+def fig18():
+    return figure18(FAST_SUBSET, refs=REFS)
+
+
+@pytest.fixture(scope="module")
+def fig19():
+    return figure19(FAST_SUBSET, refs=REFS)
+
+
+class TestFig2bShapes:
+    """Paper: DIMM reads 2.9x bare PRAM; DIMM writes 2.3-6.1x *better*;
+    bare PRAM read ~= DRAM read; DIMM latency varies, bare is flat."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2b(samples=2000)
+
+    def test_dimm_reads_slower_than_bare(self, result):
+        assert 1.8 < result.notes["dimm_read_vs_bare"] < 4.5
+
+    def test_dimm_writes_beat_bare_program(self, result):
+        assert 2.0 < result.notes["bare_write_vs_dimm_write"] < 9.0
+
+    def test_bare_read_near_dram(self, result):
+        assert 0.55 < result.notes["bare_read_vs_dram"] < 1.4
+
+    def test_dimm_latency_varies_bare_does_not(self, result):
+        assert result.notes["dimm_read_spread"] > 1.5
+        assert result.notes["bare_read_spread"] == pytest.approx(1.0)
+
+
+class TestFig4Shapes:
+    """Paper: mem-mode ~= DRAM-only; app +28% over mem; object 1.8x;
+    trans 8.7x DRAM-only."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure4(refs=REFS)
+
+    def test_mem_mode_close_to_dram(self, result):
+        assert result.notes["mem_vs_dram_latency"] < 1.4
+
+    def test_app_mode_slower_than_mem(self, result):
+        assert 1.05 < result.notes["app_vs_mem_latency"] < 2.2
+
+    def test_object_mode_band(self, result):
+        assert 1.4 < result.notes["object_vs_dram_latency"] < 3.5
+
+    def test_trans_mode_dominates(self, result):
+        assert 4.0 < result.notes["trans_vs_dram_latency"] < 14.0
+
+    def test_mode_ordering_strict(self, result):
+        latency = result.column("latency_vs_dram")
+        assert latency == sorted(latency)
+
+
+class TestFig8Shapes:
+    """Paper: hold-ups 22/55 ms busy; SnG 8.6-10.5 ms, under the 16 ms
+    spec with margin; process stop the smallest phase (~12%)."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure8()
+
+    def test_measured_holdups(self, result):
+        by = result.row_by("holdup/atx/busy")
+        assert by["holdup/atx/busy"][1] == pytest.approx(22.0, rel=0.1)
+        assert result.row_by("holdup/server/busy")["holdup/server/busy"][1] == \
+            pytest.approx(55.0, rel=0.1)
+
+    def test_stop_fits_spec_with_margin(self, result):
+        assert result.notes["busy_stop_ms"] < 16.0
+        assert result.notes["busy_margin_vs_spec"] > 0.2
+
+    def test_stop_in_band(self, result):
+        assert 4.0 < result.notes["busy_stop_ms"] < 13.0
+        assert result.notes["idle_stop_ms"] <= result.notes["busy_stop_ms"]
+
+    def test_process_stop_smallest_phase(self, result):
+        row = result.row_by("sng/busy")["sng/busy"]
+        process, device, offline = row[2], row[3], row[4]
+        assert process < device and process < offline
+        assert 0.05 < process < 0.25
+
+
+class TestFig15Shapes:
+    """Paper: LightPC within ~12% of LegacyPC; 2.8x faster than
+    LightPC-B on average (4.1x for SNAP/astar)."""
+
+    def test_lightpc_near_legacy(self, fig15):
+        assert 0.85 < fig15.notes["lightpc_vs_legacy_mean"] < 1.35
+
+    def test_baseline_much_slower(self, fig15):
+        assert 2.0 < fig15.notes["baseline_vs_lightpc_mean"] < 6.5
+
+    def test_snap_astar_worst_for_baseline(self, fig15):
+        by = fig15.row_by("snap")
+        ratios = {row[0]: row[5] for row in fig15.rows}
+        heavy = (ratios["snap"] + ratios["astar"]) / 2
+        assert heavy > fig15.notes["baseline_vs_lightpc_mean"] * 0.9
+
+    def test_write_sparse_workloads_least_affected(self, fig15):
+        # The workloads with the fewest memory-level writes — crypto
+        # (tiny cached footprint; the paper's SHA512 case) and mcf
+        # (read/write ratio 345) — gain least from the PSM.
+        ratios = {row[0]: row[5] for row in fig15.rows}
+        least = min(ratios, key=ratios.get)
+        assert least in ("aes", "mcf")
+        mean = fig15.notes["baseline_vs_lightpc_mean"]
+        assert ratios["aes"] < mean and ratios["mcf"] < mean
+
+
+class TestFig16Shapes:
+    """Paper: LightPC-B read latency 7-14.8x LightPC's; wrf worst
+    (read-after-write heavy), mcf least (few writes)."""
+
+    def test_ratios_all_at_least_one(self, fig16):
+        assert fig16.notes["min_ratio"] >= 0.95
+
+    def test_mean_ratio_substantial(self, fig16):
+        # paper: 7-14.8x; our simulation compresses the band (banked
+        # media + OoO overlap) but the blocking is still multiples
+        assert fig16.notes["mean_ratio"] > 2.2
+
+    def test_max_ratio_band(self, fig16):
+        assert 3.0 < fig16.notes["max_ratio"] < 25.0
+
+    def test_mcf_least_blocked(self, fig16):
+        ratios = {row[0]: row[3] for row in fig16.rows}
+        assert ratios["mcf"] == min(ratios.values())
+
+    def test_wrf_among_most_blocked_single_threaded(self, fig16):
+        ratios = {row[0]: row[3] for row in fig16.rows}
+        single = {n: r for n, r in ratios.items()
+                  if n in ("mcf", "astar", "wrf")}
+        assert ratios["wrf"] >= sorted(single.values())[-2]
+
+
+class TestFig17Shapes:
+    """Paper: STREAM bandwidth ratio ~78%; Add/Triad closer to DRAM
+    than Copy/Scale."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure17(elements=16_000)
+
+    def test_mean_band(self, result):
+        assert 0.5 < result.notes["mean_ratio"] < 1.1
+
+    def test_read_heavy_kernels_closer(self, result):
+        assert result.notes["add_triad_vs_copy_scale"] > 0.98
+
+
+class TestFig18Shapes:
+    """Paper: LightPC at ~28% of LegacyPC power; 69% energy saving;
+    LightPC-B loses most of the energy win."""
+
+    def test_power_fraction(self, fig18):
+        assert 0.2 < fig18.notes["lightpc_power_fraction"] < 0.4
+
+    def test_energy_saving(self, fig18):
+        assert 0.55 < fig18.notes["lightpc_energy_saving"] < 0.85
+
+    def test_baseline_saving_collapses(self, fig18):
+        # paper: LightPC-B keeps only 8.2% of the energy win; ours keeps
+        # more (its slowdown is 2.6x, not 3.1x) but the collapse vs
+        # LightPC's ~70% saving is unambiguous
+        assert fig18.notes["baseline_energy_saving"] < 0.45
+        assert (fig18.notes["lightpc_energy_saving"]
+                > fig18.notes["baseline_energy_saving"] + 0.25)
+
+
+class TestFig19Shapes:
+    """Paper: LightPC beats SysPC/A-CheckPC/S-CheckPC by 1.6/8.8/2.4x."""
+
+    def test_syspc_band(self, fig19):
+        assert 1.15 < fig19.notes["syspc_vs_lightpc_mean"] < 3.0
+
+    def test_acheckpc_band(self, fig19):
+        assert 3.5 < fig19.notes["acheckpc_vs_lightpc_mean"] < 14.0
+
+    def test_scheckpc_band(self, fig19):
+        assert 1.2 < fig19.notes["scheckpc_vs_lightpc_mean"] < 4.0
+
+    def test_acheckpc_is_worst(self, fig19):
+        notes = fig19.notes
+        assert notes["acheckpc_vs_lightpc_mean"] > \
+            notes["syspc_vs_lightpc_mean"]
+        assert notes["acheckpc_vs_lightpc_mean"] > \
+            notes["scheckpc_vs_lightpc_mean"]
+
+
+class TestFig20Shapes:
+    """Paper: SysPC flush 172x/112x the ATX/server hold-up; S-CheckPC
+    3.5x/1.4x; LightPC's Stop fits under both."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure20(workload="redis", refs=REFS)
+
+    def test_syspc_dwarfs_holdup(self, result):
+        assert result.notes["syspc_vs_atx"] > 25.0
+        assert result.notes["syspc_vs_server"] > 10.0
+
+    def test_scheckpc_exceeds_holdup(self, result):
+        assert result.notes["scheckpc_vs_atx"] > 1.0
+
+    def test_lightpc_fits(self, result):
+        assert result.notes["lightpc_vs_atx"] < 0.8
+
+
+class TestFig22Shapes:
+    """Paper: 64 cores/40MB inside the server window; 32 cores/16KB
+    inside the ATX window; beyond that, the ATX window breaks."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure22()
+
+    def test_crossovers(self, result):
+        assert result.notes["cores32_16kb_fits_atx"] == 1.0
+        assert result.notes["cores64_16kb_fits_atx"] == 0.0
+        assert result.notes["cores64_40mb_fits_server"] == 1.0
+
+    def test_stop_grows_with_cores(self, result):
+        at_16kb = {row[0]: row[2] for row in result.rows if row[1] == 16}
+        cores = sorted(at_16kb)
+        values = [at_16kb[c] for c in cores]
+        assert values == sorted(values)
+
+    def test_stop_grows_with_cache(self, result):
+        at_64 = {row[1]: row[2] for row in result.rows if row[0] == 64}
+        sizes = sorted(at_64)
+        assert at_64[sizes[0]] <= at_64[sizes[-1]]

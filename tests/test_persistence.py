@@ -1,0 +1,152 @@
+"""Tests for the persistence mechanisms (SysPC, A/S-CheckPC, SnG wrapper)."""
+
+import pytest
+
+from repro.pecos import Kernel, SnG
+from repro.persistence import (
+    ACheckPC,
+    ExecutionProfile,
+    LightPCSnG,
+    SCheckPC,
+    SysPC,
+)
+
+
+def _profile(wall_s=2.0, instructions=2e9, footprint=64 << 20,
+             dirty_rate=50e6):
+    return ExecutionProfile(
+        workload="test",
+        wall_ns=wall_s * 1e9,
+        instructions=instructions,
+        footprint_bytes=footprint,
+        dirty_bytes_per_s=dirty_rate,
+    )
+
+
+class TestExecutionProfile:
+    def test_cycles(self):
+        p = _profile(wall_s=1.0)
+        assert p.cycles == pytest.approx(1.6e9)
+
+    def test_scaled(self):
+        p = _profile(wall_s=1.0).scaled(10.0)
+        assert p.wall_ns == pytest.approx(10e9)
+        assert p.instructions == pytest.approx(2e10)
+        assert p.footprint_bytes == 64 << 20  # footprint does not scale
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            _profile().scaled(0.0)
+
+
+class TestSysPC:
+    def test_no_runtime_interference(self):
+        outcome = SysPC().outcome(_profile())
+        assert outcome.execution_ns == _profile().wall_ns
+
+    def test_flush_is_full_image(self):
+        mech = SysPC()
+        p = _profile()
+        expected = mech.image_bytes(p) / mech.dump_bw * 1e9
+        assert mech.flush_latency_ns(p) == pytest.approx(expected)
+
+    def test_flush_grows_with_footprint(self):
+        mech = SysPC()
+        small = mech.flush_latency_ns(_profile(footprint=1 << 20))
+        big = mech.flush_latency_ns(_profile(footprint=1 << 30))
+        assert big > small
+
+    def test_cannot_survive_holdup_overrun(self):
+        assert not SysPC().outcome(_profile()).survives_holdup_overrun
+
+    def test_flush_dwarfs_holdup(self):
+        from repro.power.psu import ATX_PSU
+        flush_ms = SysPC().flush_latency_ns(_profile()) / 1e6
+        assert flush_ms > 20 * ATX_PSU.spec_holdup_ms
+
+
+class TestACheckPC:
+    def test_control_scales_with_instructions(self):
+        mech = ACheckPC()
+        small = mech.outcome(_profile(instructions=1e8)).control_ns
+        big = mech.outcome(_profile(instructions=1e10)).control_ns
+        assert big == pytest.approx(100 * small)
+
+    def test_nothing_to_flush_at_fail(self):
+        assert ACheckPC().outcome(_profile()).flush_at_fail_ns == 0.0
+
+    def test_recovery_needs_cold_reboot(self):
+        outcome = ACheckPC().outcome(_profile())
+        assert outcome.recover_ns >= ACheckPC().cold_reboot_ns
+
+    def test_slowest_mechanism(self):
+        p = _profile()
+        a = ACheckPC().outcome(p).total_ns
+        s = SysPC().outcome(p).total_ns
+        sc = SCheckPC().outcome(p).total_ns
+        assert a > s and a > sc
+
+
+class TestSCheckPC:
+    def test_periodic_dumps_counted(self):
+        mech = SCheckPC(period_ns=1e9)
+        assert mech.periods(_profile(wall_s=5.0)) == pytest.approx(5.0)
+
+    def test_dump_capped_at_footprint(self):
+        mech = SCheckPC()
+        p = _profile(footprint=1 << 20, dirty_rate=1e12)
+        assert mech.dump_bytes_per_period(p) == 1 << 20
+
+    def test_interference_slows_execution(self):
+        outcome = SCheckPC().outcome(_profile())
+        assert outcome.execution_ns > _profile().wall_ns
+
+    def test_flush_is_one_period(self):
+        mech = SCheckPC()
+        p = _profile()
+        assert mech.flush_latency_ns(p) == pytest.approx(
+            mech.dump_bytes_per_period(p) / mech.dump_bw * 1e9)
+
+    def test_between_syspc_and_acheckpc(self):
+        # Paper ordering (SysPC < S-CheckPC < A-CheckPC) holds at
+        # full-run magnitudes, where SysPC's one-time image dump
+        # amortizes; a seconds-long run would let it dominate.
+        p = _profile(wall_s=40.0, instructions=4e10, dirty_rate=120e6)
+        total_s = SysPC().outcome(p).total_ns
+        total_sc = SCheckPC().outcome(p).total_ns
+        total_a = ACheckPC().outcome(p).total_ns
+        assert total_s < total_sc < total_a
+
+
+class TestLightPCSnG:
+    def _mechanism(self):
+        kernel = Kernel()
+        kernel.populate()
+        sng = SnG(kernel, flush_port=lambda t: t + 2_000.0,
+                  dirty_lines_fn=lambda: [256] * 8)
+        stop = sng.stop()
+        go = sng.go()
+        return LightPCSnG.from_reports(stop, go)
+
+    def test_flush_is_stop_latency(self):
+        mech = self._mechanism()
+        assert mech.flush_latency_ns(_profile()) == mech.stop_ns
+        assert mech.stop_ns < 16e6  # inside the ATX spec window
+
+    def test_tiny_control_overhead(self):
+        mech = self._mechanism()
+        outcome = mech.outcome(_profile(wall_s=10.0))
+        assert outcome.control_ns / outcome.execution_ns < 0.01
+
+    def test_fastest_overall(self):
+        mech = self._mechanism()
+        p = _profile()
+        light = mech.outcome(p).total_ns + mech.outcome(p).recover_ns
+        for baseline in (SysPC(), ACheckPC(), SCheckPC()):
+            other = baseline.outcome(p)
+            assert light < other.total_ns + other.recover_ns
+
+    def test_energy_tiny_vs_syspc(self):
+        mech = self._mechanism()
+        p = _profile()
+        assert mech.outcome(p).flush_energy_j < SysPC().outcome(p).flush_energy_j / 50

@@ -1,0 +1,157 @@
+"""Tests for the conventional PMEM DIMM complex (LSQ, caches, media)."""
+
+import pytest
+
+from repro.memory import MemoryOp, MemoryRequest
+from repro.pmem import LoadStoreQueue, PMEMDIMM
+
+
+class TestLoadStoreQueue:
+    def test_first_write_allocates(self):
+        lsq = LoadStoreQueue(depth=4)
+        assert lsq.push_write(0.0, 0) is None
+        assert lsq.occupancy == 1
+
+    def test_same_frame_combines(self):
+        lsq = LoadStoreQueue(depth=4)
+        lsq.push_write(0.0, 0)
+        assert lsq.push_write(1.0, 64) is None
+        assert lsq.occupancy == 1
+        assert lsq.combines == 1
+
+    def test_coverage_bits(self):
+        lsq = LoadStoreQueue(depth=4)
+        lsq.push_write(0.0, 0)
+        lsq.push_write(0.0, 64)
+        lsq.push_write(0.0, 128)
+        lsq.push_write(0.0, 192)
+        (entry,) = lsq.drain()
+        assert entry.coverage == 0b1111
+
+    def test_full_queue_evicts_oldest(self):
+        lsq = LoadStoreQueue(depth=2)
+        lsq.push_write(0.0, 0)
+        lsq.push_write(1.0, 256)
+        evicted = lsq.push_write(2.0, 512)
+        assert evicted is not None and evicted.frame == 0
+        assert lsq.evictions == 1
+
+    def test_forwarding_covers_only_written_slots(self):
+        lsq = LoadStoreQueue(depth=4)
+        lsq.push_write(0.0, 64)
+        assert lsq.forward_read(64)
+        assert not lsq.forward_read(0)
+        assert not lsq.forward_read(256)
+
+    def test_drain_empties_oldest_first(self):
+        lsq = LoadStoreQueue(depth=4)
+        lsq.push_write(5.0, 512)
+        lsq.push_write(1.0, 0)
+        frames = [e.frame for e in lsq.drain()]
+        assert frames == [0, 512]
+        assert lsq.occupancy == 0
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            LoadStoreQueue(depth=0)
+
+
+class TestPMEMDIMM:
+    def _read(self, dimm, address, time=0.0):
+        return dimm.access(
+            MemoryRequest(MemoryOp.READ, address=address, time=time))
+
+    def _write(self, dimm, address, time=0.0):
+        return dimm.access(
+            MemoryRequest(MemoryOp.WRITE, address=address, time=time))
+
+    def test_cold_read_pays_full_media_path(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        response = self._read(dimm, 0)
+        # lsq + sram lookup + dram lookup + AIT + firmware + media read
+        assert response.latency > 100.0
+        assert dimm.media_reads == 1
+
+    def test_warm_read_hits_internal_cache(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        cold = self._read(dimm, 0)
+        warm = self._read(dimm, 0, time=cold.complete_time + 10)
+        assert warm.latency < cold.latency * 0.7
+
+    def test_write_much_faster_than_media_program(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        response = self._write(dimm, 0)
+        assert response.latency < 500.0  # vs ~2 us media pulse
+
+    def test_store_to_load_forwarding(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        w = self._write(dimm, 0)
+        r = self._read(dimm, 0, time=w.complete_time)
+        assert r.latency < 150.0  # forwarded from the LSQ, no media trip
+
+    def test_lsq_eviction_triggers_media_write(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        t = 0.0
+        for i in range(dimm.lsq.depth + 1):
+            response = self._write(dimm, i * 256, time=t)
+            t = response.complete_time + 5.0
+        assert dimm.media_writes >= 1
+
+    def test_partial_frame_eviction_costs_rmw(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        t = 0.0
+        # one 64 B line per 256 B frame: every evicted frame is partial
+        for i in range(dimm.lsq.depth + 2):
+            response = self._write(dimm, i * 256, time=t)
+            t = response.complete_time + 5.0
+        assert dimm.rmw_count >= 1
+
+    def test_flush_drains_lsq_and_media(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        self._write(dimm, 0)
+        done = dimm.flush(100.0)
+        assert done >= 100.0
+        assert dimm.lsq.occupancy == 0
+        assert dimm.media_writes >= 1
+
+    def test_latency_varies_with_hit_level(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        t = 0.0
+        for i in range(200):
+            # a hot line amid a random stream: the lookup path answers
+            # from different levels, so latency is non-deterministic
+            address = 0 if i % 3 == 0 else (i * 7919 * 64) % (1 << 20)
+            response = self._read(dimm, address, time=t)
+            t = max(t, response.complete_time) + 50.0
+        assert dimm.read_latency.spread() > 1.5
+
+    def test_media_banks_parallelism(self):
+        dimm = PMEMDIMM(capacity=1 << 20, media_banks=4)
+        assert len(dimm.banks) == 4
+        assert dimm._bank_of(0) is not dimm._bank_of(256)
+
+    def test_power_cycle_clears_volatile_state(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        self._write(dimm, 0)
+        self._read(dimm, 4096)
+        dimm.power_cycle()
+        assert dimm.lsq.occupancy == 0
+        assert dimm.sram.occupancy == 0
+        assert all(d.busy_until == 0.0 for d in dimm.dies)
+
+    def test_reset_rejected(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        with pytest.raises(ValueError):
+            dimm.access(MemoryRequest(MemoryOp.RESET))
+
+    def test_out_of_range_rejected(self):
+        dimm = PMEMDIMM(capacity=1 << 12)
+        with pytest.raises(ValueError):
+            self._read(dimm, 1 << 12)
+
+    def test_counters_exposed(self):
+        dimm = PMEMDIMM(capacity=1 << 20)
+        self._read(dimm, 0)
+        counters = dimm.counters()
+        assert counters["media_reads"] == 1
+        assert counters["sram_misses"] == 1

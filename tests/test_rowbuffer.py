@@ -1,0 +1,113 @@
+"""Tests for the open-row tracker and the PSM write-aggregation buffer."""
+
+import pytest
+
+from repro.memory import OpenRowTracker, WriteAggregationBuffer
+
+
+class TestOpenRowTracker:
+    def test_first_access_is_miss(self):
+        rows = OpenRowTracker(banks=2)
+        assert not rows.access(0, 0)
+
+    def test_same_row_hits(self):
+        rows = OpenRowTracker(banks=1)
+        rows.access(0, 0)
+        assert rows.access(0, 64)
+        assert rows.access(0, 4095)
+
+    def test_row_change_misses(self):
+        rows = OpenRowTracker(banks=1)
+        rows.access(0, 0)
+        assert not rows.access(0, 4096)
+
+    def test_banks_independent(self):
+        rows = OpenRowTracker(banks=2)
+        rows.access(0, 0)
+        assert not rows.access(1, 0)
+
+    def test_hit_ratio(self):
+        rows = OpenRowTracker(banks=1)
+        rows.access(0, 0)
+        rows.access(0, 8)
+        rows.access(0, 8192)
+        assert rows.hit_ratio == pytest.approx(1 / 3)
+
+    def test_close_all(self):
+        rows = OpenRowTracker(banks=1)
+        rows.access(0, 0)
+        rows.close_all()
+        assert not rows.access(0, 0)
+
+    def test_bank_count_validation(self):
+        with pytest.raises(ValueError):
+            OpenRowTracker(banks=0)
+
+
+class TestWriteAggregationBuffer:
+    def test_first_write_opens_page(self):
+        buf = WriteAggregationBuffer()
+        absorbed, drain = buf.write(0.0, 128)
+        assert not absorbed and drain is None
+        assert buf.open_page == 0
+        assert buf.dirty_beats == 1
+
+    def test_same_page_writes_absorbed(self):
+        buf = WriteAggregationBuffer()
+        buf.write(0.0, 0)
+        absorbed, drain = buf.write(1.0, 96)
+        assert absorbed and drain is None
+        assert buf.dirty_beats == 2
+
+    def test_repeat_write_to_same_beat_absorbed_once(self):
+        buf = WriteAggregationBuffer()
+        buf.write(0.0, 0)
+        buf.write(1.0, 0)
+        assert buf.dirty_beats == 1
+
+    def test_page_change_returns_drain_set(self):
+        buf = WriteAggregationBuffer()
+        buf.write(0.0, 0)
+        buf.write(1.0, 64)
+        absorbed, drain = buf.write(2.0, 4096)
+        assert not absorbed
+        page, beats = drain
+        assert page == 0
+        assert beats == {0, 2}
+
+    def test_read_hit_only_for_dirty_beats_of_open_page(self):
+        buf = WriteAggregationBuffer(beat_bytes=64)
+        buf.write(0.0, 64)
+        assert buf.read_hit(64)
+        assert buf.read_hit(96)  # same 64 B beat
+        assert not buf.read_hit(128)
+        assert not buf.read_hit(4096 + 64)
+
+    def test_flush_closes_and_drains(self):
+        buf = WriteAggregationBuffer()
+        buf.write(0.0, 0)
+        page, beats = buf.flush()
+        assert page == 0 and beats == {0}
+        assert buf.open_page is None
+        assert buf.flush() is None
+
+    def test_drain_counter(self):
+        buf = WriteAggregationBuffer()
+        buf.write(0.0, 0)
+        buf.write(1.0, 8192)
+        assert buf.drains == 1
+        buf.flush()
+        assert buf.drains == 2
+
+    def test_hit_ratio(self):
+        buf = WriteAggregationBuffer()
+        buf.write(0.0, 0)
+        buf.write(1.0, 64)
+        buf.write(2.0, 128)
+        assert buf.hit_ratio == pytest.approx(2 / 3)
+
+    def test_custom_beat_size(self):
+        buf = WriteAggregationBuffer(beat_bytes=32)
+        buf.write(0.0, 0)
+        buf.write(1.0, 32)
+        assert buf.dirty_beats == 2

@@ -1,0 +1,117 @@
+"""Tests for the live world: time-sliced execution across power cycles."""
+
+import pytest
+
+from repro.pecos import Kernel, KernelConfig, SnG, TaskState
+from repro.pecos.schedsim import LiveWorld
+
+
+def _world(cores=4):
+    kernel = Kernel(KernelConfig(cores=cores, user_processes=0,
+                                 kernel_threads=0, sleeping_fraction=0.0))
+    kernel.populate()
+    return LiveWorld(kernel)
+
+
+def _sng_for(world):
+    return SnG(world.kernel, flush_port=lambda t: t + 2_000.0,
+               dirty_lines_fn=lambda: [64] * world.kernel.config.cores)
+
+
+class TestLiveExecution:
+    def test_single_task_completes(self):
+        world = _world()
+        task = world.spawn("worker", work=500)
+        world.run_to_completion()
+        assert task.finished
+        assert task.done_work == 500
+
+    def test_progress_lives_in_pcb(self):
+        world = _world()
+        task = world.spawn("worker", work=10_000)
+        world.run_for(1_000.0)
+        assert task.task.registers.pc == task.done_work > 0
+
+    def test_parallel_tasks_share_cores(self):
+        world = _world(cores=2)
+        tasks = [world.spawn(f"t{i}", work=300) for i in range(4)]
+        world.run_to_completion()
+        assert all(t.finished for t in tasks)
+        assert world.total_done() == 1200
+
+    def test_sleeping_task_wakes_and_finishes(self):
+        world = _world()
+        task = world.spawn("napper", work=200, sleep_every=50,
+                           sleep_ns=20_000.0)
+        world.run_to_completion(max_ns=1e9)
+        assert task.finished
+
+    def test_work_is_monotonic(self):
+        world = _world()
+        world.spawn("w", work=100_000)
+        a = world.total_done()
+        world.run_for(10_000.0)
+        b = world.total_done()
+        world.run_for(10_000.0)
+        c = world.total_done()
+        assert a <= b <= c
+
+    def test_clock_never_rewinds(self):
+        world = _world()
+        world.spawn("w", work=100)
+        t0 = world.clock.now_ns
+        world.run_for(5_000.0)
+        assert world.clock.now_ns >= t0
+        with pytest.raises(ValueError):
+            world.clock.advance(-1.0)
+
+
+class TestPowerCycleInvariant:
+    def _run_with_outage(self, outage_after_ns):
+        world = _world()
+        for i in range(5):
+            world.spawn(f"t{i}", work=2_000,
+                        sleep_every=500 if i % 2 else 0, sleep_ns=8_000.0)
+        world.run_for(outage_after_ns)
+        progress_at_cut = world.snapshot_progress()
+
+        sng = _sng_for(world)
+        sng.stop()
+        # the EP-cut must capture exactly the progress at the cut
+        assert world.snapshot_progress() == progress_at_cut
+        assert all(lt.task.state is TaskState.UNINTERRUPTIBLE
+                   for lt in world.live.values())
+        go = sng.go()
+        assert go.warm
+        world.resume_after_go()
+        world.run_to_completion(max_ns=1e10)
+        return world
+
+    def test_no_work_lost_or_duplicated(self):
+        """Total work across a power cycle == uninterrupted total."""
+        for outage_at in (1_000.0, 37_000.0, 200_000.0):
+            world = self._run_with_outage(outage_at)
+            assert world.total_done() == world.total_work()
+
+    def test_mid_sleep_outage(self):
+        world = _world()
+        napper = world.spawn("napper", work=100, sleep_every=30,
+                             sleep_ns=1e6)
+        world.run_for(40_000.0)  # napper is asleep now
+        assert napper.task.state is TaskState.INTERRUPTIBLE
+        sng = _sng_for(world)
+        sng.stop()  # Drive-to-Idle wakes and parks it
+        sng.go()
+        world.resume_after_go()
+        world.run_to_completion(max_ns=1e10)
+        assert napper.finished
+
+    def test_outage_before_any_work(self):
+        world = _world()
+        task = world.spawn("fresh", work=100)
+        sng = _sng_for(world)
+        sng.stop()
+        sng.go()
+        world.resume_after_go()
+        world.run_to_completion()
+        assert task.done_work == 100

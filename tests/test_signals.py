@@ -1,0 +1,113 @@
+"""Tests for signal delivery and its interplay with SnG's lockdown."""
+
+import pytest
+
+from repro.pecos import Task, TaskFlags, TaskState
+from repro.pecos.signals import DeliveryRecord, Signal, SignalDelivery
+
+
+def _sleeper(user=True):
+    task = Task(name="sleeper", kernel_thread=not user)
+    task.state = TaskState.INTERRUPTIBLE
+    return task
+
+
+class TestPosting:
+    def test_signal_wakes_interruptible_sleeper(self):
+        delivery = SignalDelivery()
+        task = _sleeper()
+        assert delivery.post(task, Signal.SIGUSR1)
+        assert task.state is TaskState.RUNNABLE
+        assert TaskFlags.SIGPENDING in task.flags
+
+    def test_uninterruptible_task_is_immune(self):
+        """The whole point of lockdown: nothing can wake the task."""
+        delivery = SignalDelivery()
+        task = _sleeper()
+        task.lockdown()
+        assert not delivery.post(task, Signal.SIGKILL)
+        assert task.state is TaskState.UNINTERRUPTIBLE
+
+    def test_fake_signal_targets_user_tasks_only(self):
+        delivery = SignalDelivery()
+        kthread = _sleeper(user=False)
+        with pytest.raises(ValueError):
+            delivery.post_fake_signal(kthread)
+
+    def test_fake_signal_wakes_user_sleeper(self):
+        delivery = SignalDelivery()
+        task = _sleeper()
+        assert delivery.post_fake_signal(task)
+        assert delivery.pending_count(task) == 1
+
+    def test_runnable_task_just_queues(self):
+        delivery = SignalDelivery()
+        task = Task(name="runner", state=TaskState.RUNNABLE)
+        assert not delivery.post(task, Signal.SIGUSR1)
+        assert delivery.pending_count(task) == 1
+
+
+class TestDelivery:
+    def test_delivery_drains_queue_and_clears_flag(self):
+        delivery = SignalDelivery()
+        task = _sleeper()
+        delivery.post(task, Signal.SIGUSR1)
+        delivery.post(task, Signal.SIGHUP)
+        records = delivery.deliver_pending(task)
+        assert [r.signal for r in records] == [Signal.SIGUSR1, Signal.SIGHUP]
+        assert not delivery.has_pending(task)
+        assert TaskFlags.SIGPENDING not in task.flags
+
+    def test_handler_invoked(self):
+        delivery = SignalDelivery()
+        task = _sleeper()
+        hits = []
+        delivery.register_handler(task, Signal.SIGUSR1,
+                                  lambda t: hits.append(t.pid))
+        delivery.post(task, Signal.SIGUSR1)
+        delivery.deliver_pending(task)
+        assert hits == [task.pid]
+
+    def test_sigkill_uncatchable(self):
+        delivery = SignalDelivery()
+        task = _sleeper()
+        with pytest.raises(ValueError):
+            delivery.register_handler(task, Signal.SIGKILL, lambda t: None)
+        delivery.post(task, Signal.SIGKILL)
+        delivery.deliver_pending(task)
+        assert task.state is TaskState.ZOMBIE
+
+    def test_fake_signal_has_no_effect_beyond_the_trip(self):
+        """SIGFAKE exists to ride the exit path; it must not change the
+        task's fate."""
+        delivery = SignalDelivery()
+        task = _sleeper()
+        delivery.post_fake_signal(task)
+        delivery.deliver_pending(task)
+        assert task.state is TaskState.RUNNABLE  # woken, nothing else
+
+    def test_delivery_audit_accumulates(self):
+        delivery = SignalDelivery()
+        a, b = _sleeper(), _sleeper()
+        delivery.post(a, Signal.SIGUSR1)
+        delivery.post(b, Signal.SIGTERM)
+        delivery.deliver_pending(a)
+        delivery.deliver_pending(b)
+        assert len(delivery.delivered) == 2
+
+
+class TestDriveToIdleScenario:
+    def test_fake_signal_park_lockdown_sequence(self):
+        """The §IV-A sequence end to end: wake by fake signal, drain
+        signals on the exit path, park, lockdown; afterwards no signal —
+        not even SIGKILL — can disturb the task until Go releases it."""
+        delivery = SignalDelivery()
+        task = _sleeper()
+        delivery.post_fake_signal(task)                # master nudges
+        assert task.state is TaskState.RUNNABLE
+        delivery.deliver_pending(task)                 # entry.S drain
+        task.lockdown()                                # switched out for good
+        assert not delivery.post(task, Signal.SIGKILL)
+        assert task.state is TaskState.UNINTERRUPTIBLE
+        task.release()                                 # Go
+        assert task.state is TaskState.RUNNABLE

@@ -1,0 +1,237 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Event, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start_time=5.0).now == 5.0
+
+
+def test_timeout_fires_at_delay():
+    sim = Simulator()
+    fired = []
+    t = sim.timeout(10.0, value="x")
+    t.add_callback(lambda e: fired.append((sim.now, e.value)))
+    sim.run()
+    assert fired == [(10.0, "x")]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_call_at_and_after():
+    sim = Simulator()
+    log = []
+    sim.call_at(7.0, lambda: log.append(("at", sim.now)))
+    sim.call_after(3.0, lambda: log.append(("after", sim.now)))
+    sim.run()
+    assert log == [("after", 3.0), ("at", 7.0)]
+
+
+def test_call_at_past_rejected():
+    sim = Simulator()
+    sim.now = 10.0
+    with pytest.raises(SimulationError):
+        sim.call_at(5.0, lambda: None)
+
+
+def test_equal_time_events_fire_in_insertion_order():
+    sim = Simulator()
+    log = []
+    for i in range(5):
+        sim.call_at(4.0, lambda i=i: log.append(i))
+    sim.run()
+    assert log == [0, 1, 2, 3, 4]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    log = []
+    event = sim.call_at(2.0, lambda: log.append("boom"))
+    event.cancel()
+    sim.run()
+    assert log == []
+    assert not event.fired
+
+
+def test_run_until_time_advances_clock_even_when_queue_drains():
+    sim = Simulator()
+    sim.timeout(2.0)
+    sim.run(until=50.0)
+    assert sim.now == 50.0
+
+
+def test_run_until_does_not_fire_later_events():
+    sim = Simulator()
+    log = []
+    sim.call_at(100.0, lambda: log.append("late"))
+    sim.run(until=10.0)
+    assert log == []
+    sim.run()
+    assert log == ["late"]
+
+
+def test_run_until_event_stops_early():
+    sim = Simulator()
+    log = []
+    marker = sim.call_at(5.0, lambda: log.append("marker"))
+    sim.call_at(10.0, lambda: log.append("late"))
+    sim.run(until_event=marker)
+    assert log == ["marker"]
+
+
+def test_process_sequences_timeouts():
+    sim = Simulator()
+    log = []
+
+    def proc():
+        yield sim.timeout(3.0)
+        log.append(sim.now)
+        yield sim.timeout(4.0)
+        log.append(sim.now)
+        return "done"
+
+    p = sim.process(proc())
+    sim.run()
+    assert log == [3.0, 7.0]
+    assert p.fired and p.value == "done"
+
+
+def test_process_receives_event_values():
+    sim = Simulator()
+    got = []
+
+    def proc():
+        value = yield sim.timeout(1.0, value=42)
+        got.append(value)
+
+    sim.process(proc())
+    sim.run()
+    assert got == [42]
+
+
+def test_processes_can_wait_on_each_other():
+    sim = Simulator()
+    log = []
+
+    def child():
+        yield sim.timeout(5.0)
+        return "child-result"
+
+    def parent():
+        result = yield sim.process(child(), name="child")
+        log.append((sim.now, result))
+
+    sim.process(parent())
+    sim.run()
+    assert log == [(5.0, "child-result")]
+
+
+def test_process_yielding_non_event_raises():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_succeed_delivers_value():
+    sim = Simulator()
+    event = sim.event("manual")
+    got = []
+    event.add_callback(lambda e: got.append(e.value))
+    sim.succeed(event, value="v", delay=2.0)
+    sim.run()
+    assert got == ["v"] and sim.now == 2.0
+
+
+def test_callback_after_fire_rejected():
+    sim = Simulator()
+    event = sim.call_at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        event.add_callback(lambda e: None)
+
+
+def test_advance_moves_clock():
+    sim = Simulator()
+    sim.advance(12.5)
+    assert sim.now == 12.5
+
+
+def test_advance_cannot_skip_pending_events():
+    sim = Simulator()
+    sim.timeout(5.0)
+    with pytest.raises(SimulationError):
+        sim.advance(10.0)
+
+
+def test_advance_negative_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.advance(-1.0)
+
+
+def test_step_on_empty_queue_raises():
+    with pytest.raises(SimulationError):
+        Simulator().step()
+
+
+def test_max_events_guard():
+    sim = Simulator()
+
+    def forever():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(forever())
+    with pytest.raises(SimulationError):
+        sim.run(max_events=100)
+
+
+def test_drain_waits_for_all_events():
+    sim = Simulator()
+    a = sim.timeout(3.0)
+    b = sim.timeout(9.0)
+    sim.drain([a, b])
+    assert a.fired and b.fired
+    assert sim.now == 9.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+    for i in range(4):
+        sim.timeout(float(i + 1))
+    sim.run()
+    assert sim.events_processed == 4
+
+
+def test_waiting_on_already_fired_event_resumes_immediately():
+    sim = Simulator()
+    log = []
+
+    def fast():
+        yield sim.timeout(1.0)
+        return "early"
+
+    def joiner(child):
+        yield sim.timeout(10.0)   # child fires long before this
+        result = yield child      # must not blow up; resumes at once
+        log.append((sim.now, result))
+
+    child = sim.process(fast())
+    sim.process(joiner(child))
+    sim.run()
+    assert log == [(10.0, "early")]

@@ -1,0 +1,173 @@
+"""Tests for the kernel world and Stop-and-Go."""
+
+import pytest
+
+from repro.pecos import Kernel, KernelConfig, SnG, SnGTiming, TaskState
+from repro.power.psu import ATX_PSU
+
+
+def _sng(kernel=None, dirty=256, cores=None):
+    kernel = kernel or Kernel()
+    if not kernel._populated:
+        kernel.populate()
+    n = cores or kernel.config.cores
+    return SnG(
+        kernel,
+        flush_port=lambda t: t + 2_000.0,
+        dirty_lines_fn=lambda: [dirty] * n,
+    )
+
+
+class TestKernelWorld:
+    def test_population_counts(self):
+        kernel = Kernel()
+        kernel.populate()
+        cfg = kernel.config
+        assert kernel.task_count() == cfg.user_processes + cfg.kernel_threads
+
+    def test_double_populate_rejected(self):
+        kernel = Kernel()
+        kernel.populate()
+        with pytest.raises(RuntimeError):
+            kernel.populate()
+
+    def test_sleeping_fraction_respected(self):
+        kernel = Kernel(KernelConfig(sleeping_fraction=0.5))
+        kernel.populate()
+        sleeping = len(kernel.sleeping_tasks())
+        assert abs(sleeping - kernel.task_count() * 0.5) <= 1
+
+    def test_user_tasks_have_vmas(self):
+        kernel = Kernel()
+        kernel.populate()
+        for task in kernel.user_tasks():
+            assert task.total_vma_bytes() > 0
+
+    def test_not_locked_down_initially(self):
+        kernel = Kernel()
+        kernel.populate()
+        assert not kernel.everything_locked_down()
+
+
+class TestStop:
+    def test_stop_locks_down_the_world(self):
+        sng = _sng()
+        report = sng.stop()
+        assert sng.kernel.everything_locked_down()
+        assert report.tasks_stopped == sng.kernel.task_count()
+        assert report.commit_stored
+
+    def test_stop_fits_atx_holdup(self):
+        report = _sng().stop()
+        assert report.total_ms < ATX_PSU.spec_holdup_ms
+
+    def test_decomposition_positive_and_ordered(self):
+        report = _sng().stop()
+        fractions = report.fractions()
+        assert fractions["process_stop"] < fractions["device_stop"]
+        assert fractions["process_stop"] < fractions["offline"]
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_devices_suspended(self):
+        sng = _sng()
+        sng.stop()
+        from repro.pecos import DeviceState
+        assert sng.kernel.dpm.all_state(DeviceState.SUSPENDED_NOIRQ)
+
+    def test_persistent_flag_cleared_before_commit(self):
+        sng = _sng()
+        sng.stop()
+        assert not sng.kernel.persistent_flag
+
+    def test_more_dirty_lines_cost_more(self):
+        a = _sng(Kernel(), dirty=0).stop()
+        b = _sng(Kernel(), dirty=4096).stop()
+        assert b.total_ns > a.total_ns
+
+    def test_more_tasks_cost_more(self):
+        small = _sng(Kernel(KernelConfig(user_processes=10,
+                                         kernel_threads=10))).stop()
+        big = _sng(Kernel(KernelConfig(user_processes=100,
+                                       kernel_threads=60))).stop()
+        assert big.process_stop_ns > small.process_stop_ns
+
+    def test_dirty_lines_fn_validated(self):
+        kernel = Kernel()
+        kernel.populate()
+        sng = SnG(kernel, flush_port=lambda t: t,
+                  dirty_lines_fn=lambda: [0])  # wrong core count
+        with pytest.raises(ValueError):
+            sng.stop()
+
+
+class TestGo:
+    def test_warm_recovery_resumes_everything(self):
+        sng = _sng()
+        sng.stop()
+        report = sng.go()
+        assert report.warm
+        assert report.tasks_resumed == sng.kernel.task_count()
+        assert all(
+            t.state is TaskState.RUNNABLE for t in sng.kernel.all_tasks()
+        )
+
+    def test_resumed_state_matches_ep_cut(self):
+        sng = _sng()
+        sng.stop()
+        sng.go()
+        assert sng.verify_resumed_state()
+
+    def test_devices_active_after_go(self):
+        from repro.pecos import DeviceState
+        sng = _sng()
+        sng.stop()
+        sng.go()
+        assert sng.kernel.dpm.all_state(DeviceState.ACTIVE)
+
+    def test_go_without_stop_is_cold_boot(self):
+        sng = _sng()
+        report = sng.go()
+        assert not report.warm
+        assert report.total_ns == 0.0
+
+    def test_second_go_is_cold(self):
+        sng = _sng()
+        sng.stop()
+        assert sng.go().warm
+        assert not sng.go().warm  # commit consumed
+
+    def test_go_faster_than_stop(self):
+        sng = _sng()
+        stop = sng.stop()
+        go = sng.go()
+        assert go.total_ns < stop.total_ns
+
+    def test_verify_without_snapshot_raises(self):
+        sng = _sng()
+        with pytest.raises(RuntimeError):
+            sng.verify_resumed_state()
+
+
+class TestScalability:
+    def test_worst_case_32_cores_fits_atx(self):
+        kernel = Kernel(KernelConfig(cores=32, extra_drivers=720))
+        kernel.populate()
+        sng = SnG(kernel, flush_port=lambda t: t + 2_000.0,
+                  dirty_lines_fn=lambda: [256] * 32)
+        assert sng.stop().total_ms <= ATX_PSU.spec_holdup_ms
+
+    def test_worst_case_64_cores_exceeds_atx(self):
+        kernel = Kernel(KernelConfig(cores=64, extra_drivers=720))
+        kernel.populate()
+        sng = SnG(kernel, flush_port=lambda t: t + 2_000.0,
+                  dirty_lines_fn=lambda: [256] * 64)
+        assert sng.stop().total_ms > ATX_PSU.spec_holdup_ms
+
+    def test_timing_knobs_respected(self):
+        fast = SnGTiming(core_offline_ns=1_000.0)
+        kernel = Kernel()
+        kernel.populate()
+        sng = SnG(kernel, flush_port=lambda t: t,
+                  dirty_lines_fn=lambda: [0] * 8, timing=fast)
+        slow_report = _sng(Kernel(), dirty=0).stop()
+        assert sng.stop().offline_ns < slow_report.offline_ns

@@ -1,0 +1,36 @@
+"""Tests for the measured execution time series."""
+
+import pytest
+
+from repro.analysis.timeseries import execution_timeseries
+
+
+class TestExecutionTimeseries:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return execution_timeseries("aes", "lightpc", windows=6, refs=6_000)
+
+    def test_window_count(self, result):
+        assert result.notes["windows"] == 6
+        assert len(result.rows) == 6
+
+    def test_clock_monotone(self, result):
+        ends = result.column("t_end_ms")
+        assert ends == sorted(ends)
+
+    def test_ipc_warms_up(self, result):
+        """Cold caches make the first window the slowest."""
+        assert result.notes["steady_ipc"] > result.notes["warmup_ipc"]
+
+    def test_watts_positive_and_sane(self, result):
+        for watts in result.column("watts"):
+            assert 3.0 < watts < 25.0
+
+    def test_platforms_differ_in_power(self):
+        light = execution_timeseries("aes", "lightpc", windows=3, refs=3_000)
+        legacy = execution_timeseries("aes", "legacy", windows=3, refs=3_000)
+        assert legacy.rows[0][4] > light.rows[0][4] * 2
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            execution_timeseries(windows=0, refs=1_000)

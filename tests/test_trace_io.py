@@ -1,0 +1,78 @@
+"""Tests for trace save/load."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import TraceGenerator, load_workload
+from repro.workloads.trace import LocalityProfile, TraceRecord
+from repro.workloads.trace_io import (
+    TraceFormatError,
+    load_trace,
+    save_trace,
+    trace_stats,
+)
+
+
+class TestRoundTrip:
+    def test_generated_trace_round_trips(self, tmp_path):
+        workload = load_workload("aes", refs=1_000)
+        records = list(workload.traces()[0])
+        path = tmp_path / "aes.trace"
+        assert save_trace(records, path) == len(records)
+        assert list(load_trace(path)) == records
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.tuples(
+        st.integers(0, 1 << 20), st.integers(0, 1 << 40), st.booleans()),
+        max_size=60))
+    def test_arbitrary_records_round_trip(self, raw):
+        import tempfile
+        from pathlib import Path
+
+        records = [TraceRecord(instructions=i, address=a - a % 8,
+                               is_write=w) for i, a, w in raw]
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "t.trace"
+            save_trace(records, path)
+            assert list(load_trace(path)) == records
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        assert save_trace([], path) == 0
+        assert list(load_trace(path)) == []
+
+
+class TestValidation:
+    def test_not_a_trace(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not a trace file")
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    def test_truncated_body(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace([TraceRecord(1, 64, False)] * 4, path)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:-5])
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+    def test_truncated_header(self, tmp_path):
+        path = tmp_path / "t.trace"
+        path.write_bytes(b"LPC")
+        with pytest.raises(TraceFormatError):
+            list(load_trace(path))
+
+
+class TestStats:
+    def test_stats_match_trace(self, tmp_path):
+        profile = LocalityProfile(working_set_lines=512, hot_lines=64,
+                                  write_fraction=0.5)
+        records = list(TraceGenerator(profile, seed=3).records(500))
+        path = tmp_path / "t.trace"
+        save_trace(records, path)
+        stats = trace_stats(path)
+        assert stats["records"] == 500
+        assert stats["reads"] + stats["writes"] == 500
+        assert stats["write_fraction"] == pytest.approx(0.5, abs=0.1)
+        assert stats["footprint_bytes"] > 0

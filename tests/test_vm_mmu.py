@@ -1,0 +1,184 @@
+"""Tests for virtual memory (page tables in simulated memory) and the MMU."""
+
+import pytest
+
+from repro.cpu.mmu import MMU, TLB, TLBConfig
+from repro.memory import DRAMConfig, DRAMSubsystem
+from repro.ocpmem import PSM, PSMConfig
+from repro.pecos.vm import (
+    AddressSpace,
+    PAGE_BYTES,
+    PageFault,
+    PageFlags,
+    PageTableAllocator,
+)
+
+PT_BASE = 1 << 20
+PT_LIMIT = PT_BASE + (1 << 20)
+
+
+def _space_on(backend, asid=1):
+    allocator = PageTableAllocator(base=PT_BASE, limit=PT_LIMIT)
+    return AddressSpace(backend, allocator, asid=asid)
+
+
+def _psm():
+    return PSM(PSMConfig(lines_per_dimm=1 << 16), functional=True)
+
+
+class TestAddressSpace:
+    def test_map_translate_roundtrip(self):
+        space = _space_on(_psm())
+        space.map(0x4000_0000, 0x0001_0000)
+        assert space.translate(0x4000_0000) == 0x0001_0000
+        assert space.translate(0x4000_0123) == 0x0001_0123
+
+    def test_unmapped_faults(self):
+        space = _space_on(_psm())
+        with pytest.raises(PageFault):
+            space.translate(0xDEAD_0000)
+
+    def test_alignment_enforced(self):
+        space = _space_on(_psm())
+        with pytest.raises(ValueError):
+            space.map(0x1001, 0x2000)
+
+    def test_permissions(self):
+        space = _space_on(_psm())
+        space.map(0x5000_0000, 0x2000, flags=PageFlags.READ)
+        space.translate(0x5000_0000, want=PageFlags.READ)
+        with pytest.raises(PageFault):
+            space.translate(0x5000_0000, want=PageFlags.WRITE)
+
+    def test_unmap(self):
+        space = _space_on(_psm())
+        space.map(0x6000_0000, 0x3000)
+        space.unmap(0x6000_0000)
+        with pytest.raises(PageFault):
+            space.translate(0x6000_0000)
+        assert space.mapped_pages == 0
+
+    def test_map_range(self):
+        space = _space_on(_psm())
+        space.map_range(0x7000_0000, 0x10_0000, 4 * PAGE_BYTES)
+        for i in range(4):
+            assert space.translate(0x7000_0000 + i * PAGE_BYTES) == \
+                0x10_0000 + i * PAGE_BYTES
+
+    def test_distinct_regions_distinct_nodes(self):
+        space = _space_on(_psm())
+        space.map(0x0000_1000, 0x2000)
+        space.map(0x70_0000_0000, 0x3000)  # far apart: new level-1 node
+        assert space.translate(0x0000_1000) == 0x2000
+        assert space.translate(0x70_0000_0000) == 0x3000
+
+    def test_allocator_exhaustion(self):
+        allocator = PageTableAllocator(base=PT_BASE,
+                                       limit=PT_BASE + 2 * PAGE_BYTES)
+        space = AddressSpace(_psm(), allocator)
+        with pytest.raises(MemoryError):
+            space.map(0x1000, 0x2000)  # needs two more nodes
+
+    def test_allocator_alignment(self):
+        with pytest.raises(ValueError):
+            PageTableAllocator(base=123, limit=1 << 20)
+
+
+class TestPersistenceOfPageTables:
+    def test_tables_on_ocpmem_survive_power_cycle(self):
+        psm = _psm()
+        space = _space_on(psm)
+        space.map(0x4000_0000, 0x8000)
+        psm.flush(1_000.0)
+        blob = psm.capture_registers()   # EP-cut saves the wear registers
+        psm.power_cycle()
+        psm.restore_wear_registers(blob)
+        assert space.translate(0x4000_0000) == 0x8000
+
+    def test_tables_in_dram_die_with_power(self):
+        dram = DRAMSubsystem(DRAMConfig(capacity=1 << 22))
+        allocator = PageTableAllocator(base=0, limit=1 << 21)
+        space = AddressSpace(dram, allocator)
+        space.map(0x4000_0000, 0x8000)
+        assert space.translate(0x4000_0000) == 0x8000
+        dram.power_cycle()
+        with pytest.raises(PageFault):
+            space.translate(0x4000_0000)
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB()
+        assert tlb.lookup(1, 0x1000) is None
+        tlb.fill(1, 0x1000, 0x9000)
+        assert tlb.lookup(1, 0x1234) == 0x9234
+
+    def test_asid_isolation(self):
+        tlb = TLB()
+        tlb.fill(1, 0x1000, 0x9000)
+        assert tlb.lookup(2, 0x1000) is None
+
+    def test_lru_capacity(self):
+        tlb = TLB(TLBConfig(entries=2))
+        tlb.fill(1, 0x1000, 0xA000)
+        tlb.fill(1, 0x2000, 0xB000)
+        tlb.lookup(1, 0x1000)            # refresh
+        tlb.fill(1, 0x3000, 0xC000)      # evicts 0x2000
+        assert tlb.lookup(1, 0x1000) is not None
+        assert tlb.lookup(1, 0x2000) is None
+
+    def test_flush_all_and_per_asid(self):
+        tlb = TLB()
+        tlb.fill(1, 0x1000, 0xA000)
+        tlb.fill(2, 0x1000, 0xB000)
+        assert tlb.flush(asid=1) == 1
+        assert tlb.lookup(2, 0x1000) is not None
+        assert tlb.flush() == 1
+        assert tlb.occupancy == 0
+
+    def test_hit_ratio(self):
+        tlb = TLB()
+        tlb.lookup(1, 0)
+        tlb.fill(1, 0, 0x1000)
+        tlb.lookup(1, 0)
+        assert tlb.hit_ratio == pytest.approx(0.5)
+
+
+class TestMMU:
+    def test_walk_then_tlb_hit(self):
+        psm = _psm()
+        space = _space_on(psm)
+        space.map(0x4000_0000, 0x8000)
+        mmu = MMU()
+        pa, cost_miss = mmu.translate(space, 0x4000_0010)
+        assert pa == 0x8010
+        assert mmu.walks == 1
+        pa, cost_hit = mmu.translate(space, 0x4000_0020)
+        assert pa == 0x8020
+        assert mmu.walks == 1
+        assert cost_hit < cost_miss
+
+    def test_walk_generates_memory_reads(self):
+        psm = _psm()
+        space = _space_on(psm)
+        space.map(0x4000_0000, 0x8000)
+        before = sum(d.counters()["reads"] for d in psm.nvdimms)
+        MMU().translate(space, 0x4000_0000)
+        after = sum(d.counters()["reads"] for d in psm.nvdimms)
+        assert after > before  # the walk really read the tables
+
+    def test_fault_counted(self):
+        mmu = MMU()
+        space = _space_on(_psm())
+        with pytest.raises(PageFault):
+            mmu.translate(space, 0xBAD_000)
+        assert mmu.faults == 1
+
+    def test_context_switch_flushes(self):
+        psm = _psm()
+        space = _space_on(psm)
+        space.map(0x4000_0000, 0x8000)
+        mmu = MMU()
+        mmu.translate(space, 0x4000_0000)
+        mmu.context_switch()
+        assert mmu.tlb.occupancy == 0

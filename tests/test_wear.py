@@ -1,0 +1,164 @@
+"""Tests for the Start-Gap wear-leveler and the Feistel randomizer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ocpmem import FeistelPermutation, StartGap
+
+
+class TestFeistelPermutation:
+    @given(st.integers(1, 3000), st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_bijective_on_domain(self, n, seed):
+        perm = FeistelPermutation(n, seed)
+        outputs = {perm.apply(x) for x in range(n)}
+        assert outputs == set(range(n))
+
+    def test_out_of_domain_rejected(self):
+        perm = FeistelPermutation(16, 1)
+        with pytest.raises(ValueError):
+            perm.apply(16)
+
+    def test_different_seeds_differ(self):
+        a = FeistelPermutation(256, 1)
+        b = FeistelPermutation(256, 2)
+        assert [a.apply(i) for i in range(256)] != [b.apply(i) for i in range(256)]
+
+    def test_deterministic(self):
+        a = FeistelPermutation(512, 99)
+        b = FeistelPermutation(512, 99)
+        assert all(a.apply(i) == b.apply(i) for i in range(0, 512, 7))
+
+    def test_domain_validation(self):
+        with pytest.raises(ValueError):
+            FeistelPermutation(0, 1)
+
+
+class TestStartGapMapping:
+    def test_mapping_is_injective_initially(self):
+        sg = StartGap(lines=100, threshold=10)
+        mapped = {sg.map(l) for l in range(100)}
+        assert len(mapped) == 100
+        assert all(0 <= p <= 100 for p in mapped)
+
+    def test_mapping_stays_injective_through_gap_cycles(self):
+        sg = StartGap(lines=50, threshold=1)
+        for i in range(137):  # push through multiple wraps
+            sg.record_write(i % 50)
+            mapped = {sg.map(l) for l in range(50)}
+            assert len(mapped) == 50, f"collision after write {i}"
+
+    def test_gap_excluded_from_mapping(self):
+        sg = StartGap(lines=50, threshold=1)
+        for i in range(23):
+            sg.record_write(i % 50)
+        mapped = {sg.map(l) for l in range(50)}
+        assert sg.gap not in mapped
+
+    def test_out_of_range_rejected(self):
+        sg = StartGap(lines=10)
+        with pytest.raises(ValueError):
+            sg.map(10)
+
+    def test_gap_moves_every_threshold_writes(self):
+        sg = StartGap(lines=16, threshold=4)
+        for i in range(8):
+            sg.record_write(i % 16)
+        assert sg.gap_moves == 2
+
+    def test_gap_move_overhead_reported(self):
+        sg = StartGap(lines=16, threshold=2)
+        assert sg.record_write(0) == 0.0
+        assert sg.record_write(1) == StartGap.GAP_MOVE_NS
+
+    def test_start_advances_after_full_gap_cycle(self):
+        sg = StartGap(lines=8, threshold=1)
+        for i in range(9):  # 8 moves + 1 wrap step
+            sg.record_write(i % 8)
+        assert sg.gap_cycles >= 1
+        assert sg.start == 1
+
+    def test_page_granular_randomization_preserves_adjacency(self):
+        sg = StartGap(lines=64 * 8, threshold=1_000_000, randomize_unit=64)
+        base = sg.map(0)
+        for offset in range(1, 64):
+            assert sg.map(offset) == base + offset
+
+    def test_randomize_unit_validation(self):
+        with pytest.raises(ValueError):
+            StartGap(lines=8, randomize_unit=0)
+
+
+class TestStartGapData:
+    def test_gap_moves_relocate_data(self):
+        data = {p: None for p in range(17)}
+        store = {}
+
+        def move(src, dst):
+            store[dst] = store.pop(src, ("empty", src))
+
+        sg = StartGap(lines=16, threshold=1, move_fn=move)
+        # place logical contents at their initial physical homes
+        for logical in range(16):
+            store[sg.map(logical)] = ("data", logical)
+        for i in range(40):
+            sg.record_write(i % 16)
+            # every logical line's data must be where map() now says
+            for logical in range(16):
+                assert store.get(sg.map(logical)) == ("data", logical)
+
+    def test_registers_roundtrip(self):
+        sg = StartGap(lines=32, threshold=2)
+        for i in range(11):
+            sg.record_write(i % 32)
+        regs = sg.registers()
+        fresh = StartGap(lines=32, threshold=2)
+        fresh.restore_registers(regs)
+        assert all(fresh.map(l) == sg.map(l) for l in range(32))
+
+    def test_seed_rotation_changes_mapping_and_migrates(self):
+        store = {}
+
+        def move(src, dst):
+            store[dst] = store.pop(src, None)
+
+        sg = StartGap(lines=16, threshold=1_000_000, move_fn=move)
+        for logical in range(16):
+            store[sg.map(logical)] = logical
+        before = {l: sg.map(l) for l in range(16)}
+        cost = sg.rotate_seed()
+        assert cost > 0
+        after = {l: sg.map(l) for l in range(16)}
+        assert before != after
+        assert len(set(after.values())) == 16
+        for logical in range(16):
+            assert store.get(after[logical]) == logical
+
+    def test_wear_leveling_moves_hot_line_one_slot_per_cycle(self):
+        """Start-Gap shifts a hot line by ~one physical slot per gap cycle
+        — exactly the single-hot-address weakness §VIII discusses."""
+        sg = StartGap(lines=64, threshold=1, track_wear=True,
+                      randomize_unit=1)
+        for _ in range(65 * 6):
+            sg.record_write(7)  # adversarially hot logical line
+        touched = len(sg.physical_writes)
+        assert 5 <= touched <= 10, f"hot line visited {touched} slots"
+
+    def test_seed_rotation_beats_adversarial_pattern(self):
+        """The future-work seed rotation spreads a hot line much further."""
+        sg = StartGap(lines=64, threshold=1, track_wear=True,
+                      randomize_unit=1, rotate_seed_every=1)
+        for _ in range(65 * 6):
+            sg.record_write(7)
+        assert sg.seed_rotations >= 1
+        plain = StartGap(lines=64, threshold=1, track_wear=True,
+                         randomize_unit=1)
+        for _ in range(65 * 6):
+            plain.record_write(7)
+        assert len(sg.physical_writes) > len(plain.physical_writes)
+
+    def test_no_leveling_without_gap_movement(self):
+        sg = StartGap(lines=64, threshold=10**9, track_wear=True)
+        for _ in range(100):
+            sg.record_write(7)
+        assert len(sg.physical_writes) == 1
