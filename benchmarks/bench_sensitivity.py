@@ -1,12 +1,17 @@
-"""Sensitivity sweeps: how the headline claims move with PRAM speed."""
+"""Sensitivity sweeps: how the headline claims move with PRAM speed.
+
+Each sweep point is an independent campaign trial, so these benchmarks
+honour ``REPRO_JOBS`` / ``REPRO_CACHE_DIR`` (see ``conftest.py``) to
+fan points across processes and reuse completed shards between runs.
+"""
 
 from conftest import run_once
 
 from repro.analysis.sensitivity import read_latency_sweep, write_pulse_sweep
 
 
-def test_sensitivity_read_latency(benchmark, record_result):
-    result = run_once(benchmark, read_latency_sweep)
+def test_sensitivity_read_latency(benchmark, record_result, campaign_opts):
+    result = run_once(benchmark, read_latency_sweep, **campaign_opts)
     record_result(result)
     # the "+12%" claim survives the nominal point and degrades with media
     assert result.notes["ratio_at_1x"] < 1.4
@@ -14,8 +19,8 @@ def test_sensitivity_read_latency(benchmark, record_result):
     assert result.notes["monotonic_degradation"] == 1.0
 
 
-def test_sensitivity_write_pulse(benchmark, record_result):
-    result = run_once(benchmark, write_pulse_sweep)
+def test_sensitivity_write_pulse(benchmark, record_result, campaign_opts):
+    result = run_once(benchmark, write_pulse_sweep, **campaign_opts)
     record_result(result)
     # the PSM's value grows with write cost, and LightPC absorbs the
     # slower media far better than the baseline does

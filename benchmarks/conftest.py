@@ -8,6 +8,7 @@ EXPERIMENTS.md can embed the exact output.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -19,6 +20,19 @@ RESULTS_DIR = Path(__file__).parent / "results"
 #: Reference count used by the workload-matrix benchmarks.  Raise for
 #: higher fidelity (the shapes are stable from ~10k refs up).
 MATRIX_REFS = 16_000
+
+#: Campaign fan-out for trial-indexed benchmarks (sensitivity sweeps,
+#: platform matrices).  Results are identical at any parallelism — the
+#: knobs only trade wall-clock for cores and disk:
+#:   REPRO_JOBS=4 REPRO_CACHE_DIR=.bench-cache pytest benchmarks/ ...
+CAMPAIGN_JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1")))
+CAMPAIGN_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
+
+
+@pytest.fixture(scope="session")
+def campaign_opts() -> dict:
+    """``jobs``/``cache_dir`` kwargs for drivers that run campaigns."""
+    return {"jobs": CAMPAIGN_JOBS, "cache_dir": CAMPAIGN_CACHE_DIR}
 
 
 @pytest.fixture(scope="session")

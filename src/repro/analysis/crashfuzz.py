@@ -20,19 +20,26 @@ consistency contract:
   the hold-up window the machine warm-boots to a byte-identical EP-cut;
   when it does not, the boot is cold (never a half-restored world).
 
-Each returns a :class:`FuzzReport`; an empty ``violations`` list is the
-pass condition (asserted by ``tests/test_crashfuzz.py`` and runnable
-standalone via ``python -m repro.analysis.crashfuzz``).
+Each trial is a pure function of ``(trial_index, rng)`` — the RNG is
+injected by :mod:`repro.orchestrate`, derived from ``(campaign_seed,
+trial_index)``, so a trial's coverage never depends on earlier trials,
+other campaigns in the same process, or how the campaign is sharded
+across workers.  Each campaign returns a :class:`FuzzReport`; an empty
+``violations`` list is the pass condition (asserted by
+``tests/test_crashfuzz.py`` and runnable standalone via
+``python -m repro.analysis.crashfuzz`` or ``lightpc-repro fuzz``).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 from repro.core.machine import Machine
 from repro.memory.request import MemoryOp, MemoryRequest
 from repro.ocpmem.psm import PSM, PSMConfig
+from repro.orchestrate import Campaign, CampaignProgress, CampaignRunner
 from repro.pmem.controller import PMEMController
 from repro.pmem.dimm import PMEMDIMM
 from repro.pmem.pmdk import PersistentObjectPool
@@ -42,10 +49,15 @@ from repro.workloads.suites import load_workload
 
 __all__ = [
     "FuzzReport",
+    "TrialOutcome",
     "fuzz_machine",
     "fuzz_pool",
     "fuzz_psm",
     "fuzz_sector",
+    "machine_trial",
+    "pool_trial",
+    "psm_trial",
+    "sector_trial",
 ]
 
 
@@ -69,164 +81,231 @@ class FuzzReport:
                 f"{self.operations} ops, {self.crashes} crashes -> {verdict}")
 
 
+@dataclass
+class TrialOutcome:
+    """One trial's contribution to a campaign: counters plus violations."""
+
+    operations: int = 0
+    crashes: int = 0
+    violations: list[str] = field(default_factory=list)
+
+
+def _merge_outcomes(component: str, outcomes: list[TrialOutcome]) -> FuzzReport:
+    """Fold per-trial outcomes into one report, in trial-index order."""
+    report = FuzzReport(component=component, trials=len(outcomes))
+    for outcome in outcomes:
+        report.operations += outcome.operations
+        report.crashes += outcome.crashes
+        report.violations.extend(outcome.violations)
+    return report
+
+
+def _run_campaign(
+    component: str,
+    trial_fn: Callable[..., TrialOutcome],
+    trials: int,
+    seed: int,
+    params: dict,
+    jobs: int,
+    cache_dir,
+    progress: Optional[CampaignProgress],
+) -> FuzzReport:
+    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, progress=progress)
+    outcomes = runner.run(Campaign(
+        name=component, trials=trials, trial_fn=trial_fn,
+        seed=seed, params=params,
+    ))
+    return _merge_outcomes(component, outcomes)
+
+
 def _line_value(tag: int) -> bytes:
     return bytes([tag & 0xFF]) * 64
 
 
-def fuzz_psm(trials: int = 20, ops: int = 120, seed: int = 0) -> FuzzReport:
-    """Random write/flush streams against OC-PMEM, crash at a random op."""
-    report = FuzzReport(component="psm", trials=trials)
-    rng = random.Random(seed)
-    for trial in range(trials):
-        psm = PSM(PSMConfig(lines_per_dimm=1 << 10), functional=True)
-        lines = 24
-        flushed: dict[int, int] = {}      # line -> version durable for sure
-        history: dict[int, set[int]] = {i: {-1} for i in range(lines)}
-        speculative: dict[int, int] = {}
-        crash_at = rng.randrange(1, ops)
-        t = 0.0
-        version = 0
-        for op_index in range(ops):
-            report.operations += 1
-            if op_index == crash_at:
-                break
-            if rng.random() < 0.25:
-                t = psm.flush(t)
-                flushed.update(speculative)
-                speculative.clear()
-            else:
-                line = rng.randrange(lines)
-                version += 1
-                response = psm.access(MemoryRequest(
-                    MemoryOp.WRITE, address=line * 64,
-                    data=_line_value(version), time=t))
-                t = response.complete_time
-                speculative[line] = version
-                history[line].add(version)
-        psm.power_cycle()
-        report.crashes += 1
-        for line in range(lines):
+# ---------------------------------------------------------------------------
+# per-trial functions (module-level so shards pickle into worker processes)
+# ---------------------------------------------------------------------------
+
+
+def psm_trial(trial: int, rng: random.Random, ops: int = 120) -> TrialOutcome:
+    """One random write/flush stream against OC-PMEM, crashed mid-run."""
+    outcome = TrialOutcome()
+    psm = PSM(PSMConfig(lines_per_dimm=1 << 10), functional=True)
+    lines = 24
+    flushed: dict[int, int] = {}      # line -> version durable for sure
+    history: dict[int, set[int]] = {i: {-1} for i in range(lines)}
+    speculative: dict[int, int] = {}
+    crash_at = rng.randrange(1, ops)
+    t = 0.0
+    version = 0
+    for op_index in range(ops):
+        outcome.operations += 1
+        if op_index == crash_at:
+            break
+        if rng.random() < 0.25:
+            t = psm.flush(t)
+            flushed.update(speculative)
+            speculative.clear()
+        else:
+            line = rng.randrange(lines)
+            version += 1
             response = psm.access(MemoryRequest(
-                MemoryOp.READ, address=line * 64, time=0.0))
-            value = response.data
-            if line in flushed and value != _line_value(flushed[line]) \
-                    and speculative.get(line) is None:
-                # a later unflushed write may have drained; allowed only
-                # if it is a version from this line's history
-                pass
-            observed = value[0] if value and any(value) else -1
-            allowed = {v & 0xFF if v >= 0 else -1 for v in history[line]}
-            if observed not in allowed:
-                report.violations.append(
-                    f"trial {trial}: line {line} reads version {observed}, "
-                    f"never written (allowed {sorted(allowed)})")
-                continue
-            if value and any(value) and len(set(value)) != 1:
-                report.violations.append(
-                    f"trial {trial}: line {line} torn (mixed versions)")
-            if line in flushed and speculative.get(line) is None:
-                if observed != (flushed[line] & 0xFF):
-                    report.violations.append(
-                        f"trial {trial}: flushed line {line} lost "
-                        f"(wanted {flushed[line] & 0xFF}, got {observed})")
-    return report
+                MemoryOp.WRITE, address=line * 64,
+                data=_line_value(version), time=t))
+            t = response.complete_time
+            speculative[line] = version
+            history[line].add(version)
+    psm.power_cycle()
+    outcome.crashes += 1
+    for line in range(lines):
+        response = psm.access(MemoryRequest(
+            MemoryOp.READ, address=line * 64, time=0.0))
+        value = response.data
+        observed = value[0] if value and any(value) else -1
+        allowed = {v & 0xFF if v >= 0 else -1 for v in history[line]}
+        if observed not in allowed:
+            outcome.violations.append(
+                f"trial {trial}: line {line} reads version {observed}, "
+                f"never written (allowed {sorted(allowed)})")
+            continue
+        if value and any(value) and len(set(value)) != 1:
+            outcome.violations.append(
+                f"trial {trial}: line {line} torn (mixed versions)")
+        if line in flushed and speculative.get(line) is None:
+            if observed != (flushed[line] & 0xFF):
+                outcome.violations.append(
+                    f"trial {trial}: flushed line {line} lost "
+                    f"(wanted {flushed[line] & 0xFF}, got {observed})")
+    return outcome
 
 
-def fuzz_pool(trials: int = 20, txs: int = 10, seed: int = 1) -> FuzzReport:
+def pool_trial(trial: int, rng: random.Random, txs: int = 10) -> TrialOutcome:
+    """One random transaction stream, crashed inside a random transaction."""
+    outcome = TrialOutcome()
+    pool = PersistentObjectPool(1 << 18)
+    oid = pool.alloc(256)
+    committed = bytearray(256)
+    crash_in_tx = rng.randrange(txs)
+    for tx_index in range(txs):
+        image = bytearray(committed)
+        writes = [(rng.randrange(0, 256 - 8), bytes([rng.randrange(1, 256)]) * 8)
+                  for _ in range(rng.randrange(1, 5))]
+        tx = pool.tx_begin()
+        for offset, blob in writes:
+            pool.write(oid, offset, blob)
+            image[offset:offset + 8] = blob
+            outcome.operations += 1
+        if tx_index == crash_in_tx:
+            pool.crash()
+            outcome.crashes += 1
+            break
+        tx.__exit__(None, None, None)
+        committed = image
+    pool.recover()
+    state = pool.read(oid, 0, 256)
+    if state != bytes(committed):
+        outcome.violations.append(
+            f"trial {trial}: pool state mixes committed and "
+            f"uncommitted transaction effects")
+    return outcome
+
+
+def sector_trial(trial: int, rng: random.Random,
+                 writes: int = 30) -> TrialOutcome:
+    """Random sector writes; one of them is torn by power loss."""
+    outcome = TrialOutcome()
+    pmem = PMEMController([PMEMDIMM(capacity=1 << 20) for _ in range(2)])
+    device = SectorDevice(pmem, sectors=8)
+    versions: dict[int, set[bytes]] = {
+        s: {bytes(SECTOR_BYTES)} for s in range(8)}
+    expected: dict[int, bytes] = {
+        s: bytes(SECTOR_BYTES) for s in range(8)}
+    torn_at = rng.randrange(writes)
+    for index in range(writes):
+        sector = rng.randrange(8)
+        payload = bytes([rng.randrange(256)]) * SECTOR_BYTES
+        outcome.operations += 1
+        if index == torn_at:
+            device.write_sector(sector, payload,
+                                crash_before_commit=True)
+            versions[sector].add(payload)  # may or may not survive
+            break
+        device.write_sector(sector, payload)
+        expected[sector] = payload
+        versions[sector].add(payload)
+    device.crash_and_reattach()
+    outcome.crashes += 1
+    for sector in range(8):
+        value = device.read_sector(sector)
+        if value != expected[sector]:
+            outcome.violations.append(
+                f"trial {trial}: sector {sector} lost a committed write")
+        if value not in versions[sector]:
+            outcome.violations.append(
+                f"trial {trial}: sector {sector} torn")
+    return outcome
+
+
+def machine_trial(trial: int, rng: random.Random,
+                  psu: PSUModel = ATX_PSU) -> TrialOutcome:
+    """One whole-platform power-fail/recover cycle at a random run length."""
+    outcome = TrialOutcome()
+    refs = rng.randrange(1_000, 6_000)
+    workload = load_workload("aes", refs=refs, seed=trial)
+    machine = Machine.for_workload("lightpc", workload, functional=True)
+    machine.run(workload)
+    outcome.operations += refs
+    fail = machine.power_fail(psu)
+    outcome.crashes += 1
+    go = machine.recover()
+    if fail.survived:
+        if not go.warm:
+            outcome.violations.append(
+                f"trial {trial}: Stop fit the window but boot was cold")
+        elif not machine.sng.verify_resumed_state():
+            outcome.violations.append(
+                f"trial {trial}: resumed world differs from the EP-cut")
+    elif go.warm:
+        outcome.violations.append(
+            f"trial {trial}: Stop missed the window yet warm-booted")
+    return outcome
+
+
+# ---------------------------------------------------------------------------
+# campaign wrappers
+# ---------------------------------------------------------------------------
+
+
+def fuzz_psm(trials: int = 20, ops: int = 120, seed: int = 0, *,
+             jobs: int = 1, cache_dir=None,
+             progress: Optional[CampaignProgress] = None) -> FuzzReport:
+    """Random write/flush streams against OC-PMEM, crash at a random op."""
+    return _run_campaign("psm", psm_trial, trials, seed, {"ops": ops},
+                         jobs, cache_dir, progress)
+
+
+def fuzz_pool(trials: int = 20, txs: int = 10, seed: int = 1, *,
+              jobs: int = 1, cache_dir=None,
+              progress: Optional[CampaignProgress] = None) -> FuzzReport:
     """Random transaction streams; crash inside a random transaction."""
-    report = FuzzReport(component="pmdk-pool", trials=trials)
-    rng = random.Random(seed)
-    for trial in range(trials):
-        pool = PersistentObjectPool(1 << 18)
-        oid = pool.alloc(256)
-        committed = bytearray(256)
-        crash_in_tx = rng.randrange(txs)
-        for tx_index in range(txs):
-            image = bytearray(committed)
-            writes = [(rng.randrange(0, 256 - 8), bytes([rng.randrange(1, 256)]) * 8)
-                      for _ in range(rng.randrange(1, 5))]
-            tx = pool.tx_begin()
-            for offset, blob in writes:
-                pool.write(oid, offset, blob)
-                image[offset:offset + 8] = blob
-                report.operations += 1
-            if tx_index == crash_in_tx:
-                pool.crash()
-                report.crashes += 1
-                break
-            tx.__exit__(None, None, None)
-            committed = image
-        pool.recover()
-        state = pool.read(oid, 0, 256)
-        if state != bytes(committed):
-            report.violations.append(
-                f"trial {trial}: pool state mixes committed and "
-                f"uncommitted transaction effects")
-    return report
+    return _run_campaign("pmdk-pool", pool_trial, trials, seed, {"txs": txs},
+                         jobs, cache_dir, progress)
 
 
-def fuzz_sector(trials: int = 12, writes: int = 30, seed: int = 2) -> FuzzReport:
+def fuzz_sector(trials: int = 12, writes: int = 30, seed: int = 2, *,
+                jobs: int = 1, cache_dir=None,
+                progress: Optional[CampaignProgress] = None) -> FuzzReport:
     """Random sector writes; a random one is torn by power loss."""
-    report = FuzzReport(component="sector-device", trials=trials)
-    rng = random.Random(seed)
-    for trial in range(trials):
-        pmem = PMEMController([PMEMDIMM(capacity=1 << 20) for _ in range(2)])
-        device = SectorDevice(pmem, sectors=8)
-        versions: dict[int, set[bytes]] = {
-            s: {bytes(SECTOR_BYTES)} for s in range(8)}
-        expected: dict[int, bytes] = {
-            s: bytes(SECTOR_BYTES) for s in range(8)}
-        torn_at = rng.randrange(writes)
-        for index in range(writes):
-            sector = rng.randrange(8)
-            payload = bytes([rng.randrange(256)]) * SECTOR_BYTES
-            report.operations += 1
-            if index == torn_at:
-                device.write_sector(sector, payload,
-                                    crash_before_commit=True)
-                versions[sector].add(payload)  # may or may not survive
-                break
-            device.write_sector(sector, payload)
-            expected[sector] = payload
-            versions[sector].add(payload)
-        device.crash_and_reattach()
-        report.crashes += 1
-        for sector in range(8):
-            value = device.read_sector(sector)
-            if value != expected[sector]:
-                report.violations.append(
-                    f"trial {trial}: sector {sector} lost a committed write")
-            if value not in versions[sector]:
-                report.violations.append(
-                    f"trial {trial}: sector {sector} torn")
-    return report
+    return _run_campaign("sector-device", sector_trial, trials, seed,
+                         {"writes": writes}, jobs, cache_dir, progress)
 
 
-def fuzz_machine(trials: int = 4, seed: int = 3,
-                 psu: PSUModel = ATX_PSU) -> FuzzReport:
+def fuzz_machine(trials: int = 4, seed: int = 3, psu: PSUModel = ATX_PSU, *,
+                 jobs: int = 1, cache_dir=None,
+                 progress: Optional[CampaignProgress] = None) -> FuzzReport:
     """Whole-platform power-fail/recover cycles at random run lengths."""
-    report = FuzzReport(component="machine", trials=trials)
-    rng = random.Random(seed)
-    for trial in range(trials):
-        refs = rng.randrange(1_000, 6_000)
-        workload = load_workload("aes", refs=refs, seed=trial)
-        machine = Machine.for_workload("lightpc", workload, functional=True)
-        machine.run(workload)
-        report.operations += refs
-        outcome = machine.power_fail(psu)
-        report.crashes += 1
-        go = machine.recover()
-        if outcome.survived:
-            if not go.warm:
-                report.violations.append(
-                    f"trial {trial}: Stop fit the window but boot was cold")
-            elif not machine.sng.verify_resumed_state():
-                report.violations.append(
-                    f"trial {trial}: resumed world differs from the EP-cut")
-        elif go.warm:
-            report.violations.append(
-                f"trial {trial}: Stop missed the window yet warm-booted")
-    return report
+    return _run_campaign("machine", machine_trial, trials, seed, {"psu": psu},
+                         jobs, cache_dir, progress)
 
 
 def main() -> None:  # pragma: no cover - exercised as a CLI

@@ -106,28 +106,53 @@ def full_run_scale(workload: Workload, refs: Optional[int] = None) -> float:
 # shared platform-matrix runner (Figs. 15, 16, 18 share these runs)
 # ---------------------------------------------------------------------------
 
+_MATRIX_PLATFORMS = ("legacy", "lightpc_b", "lightpc")
+
+
+def _matrix_trial(
+    trial: int, rng, names: tuple[str, ...] = (), refs: int = 24_000,
+    seed: int = 42,
+) -> tuple[tuple[str, str], RunResult]:
+    """One (workload, platform) cell of the matrix (deterministic)."""
+    name = names[trial // len(_MATRIX_PLATFORMS)]
+    platform = _MATRIX_PLATFORMS[trial % len(_MATRIX_PLATFORMS)]
+    workload = load_workload(name, refs=refs, seed=seed)
+    machine = Machine.for_workload(platform, workload)
+    return (name, platform), machine.run(workload)
+
 
 @lru_cache(maxsize=8)
 def _matrix_cached(
-    names: tuple[str, ...], refs: int, seed: int
+    names: tuple[str, ...], refs: int, seed: int, jobs: int = 1
 ) -> dict[tuple[str, str], RunResult]:
-    out: dict[tuple[str, str], RunResult] = {}
-    for name in names:
-        workload = load_workload(name, refs=refs, seed=seed)
-        for platform in ("legacy", "lightpc_b", "lightpc"):
-            machine = Machine.for_workload(platform, workload)
-            out[(name, platform)] = machine.run(workload)
-    return out
+    from repro.orchestrate import Campaign, CampaignRunner
+
+    runner = CampaignRunner(jobs=jobs)
+    cells = runner.run(Campaign(
+        name="platform_matrix",
+        trials=len(names) * len(_MATRIX_PLATFORMS),
+        trial_fn=_matrix_trial,
+        seed=seed,
+        params={"names": names, "refs": refs, "seed": seed},
+    ))
+    return dict(cells)
 
 
 def platform_matrix(
     workloads: Optional[Sequence[str]] = None,
     refs: int = 24_000,
     seed: int = 42,
+    jobs: int = 1,
 ) -> dict[tuple[str, str], RunResult]:
-    """Run every workload on all three platforms (cached per argument set)."""
+    """Run every workload on all three platforms (cached per argument set).
+
+    ``jobs > 1`` fans the (workload, platform) cells across processes
+    via :class:`repro.orchestrate.CampaignRunner`; each cell is a
+    deterministic trial, so results match the serial run exactly at any
+    parallelism.
+    """
     names = tuple(workloads) if workloads is not None else tuple(WORKLOAD_SPECS)
-    return _matrix_cached(names, refs, seed)
+    return _matrix_cached(names, refs, seed, jobs)
 
 
 # ---------------------------------------------------------------------------

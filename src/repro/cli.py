@@ -63,6 +63,13 @@ _FUZZERS = {
 _PSUS = {"atx": ATX_PSU, "server": SERVER_PSU}
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lightpc-repro",
@@ -100,6 +107,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz = sub.add_parser("fuzz", help="crash-consistency fuzzing")
     fuzz.add_argument("target", choices=sorted(_FUZZERS) + ["all"])
     fuzz.add_argument("--trials", type=int, default=None)
+    fuzz.add_argument("--seed", type=int, default=None,
+                      help="campaign seed (default: each fuzzer's own)")
+    fuzz.add_argument("--jobs", type=_positive_int, default=1,
+                      help="worker processes; results are identical at "
+                           "any parallelism (default 1)")
+    fuzz.add_argument("--cache-dir", metavar="DIR", default=None,
+                      help="cache completed shards under DIR so re-runs "
+                           "are incremental")
+    fuzz.add_argument("--progress", action="store_true",
+                      help="print trials/sec, ETA and violation counts "
+                           "to stderr as the campaign runs")
 
     trace = sub.add_parser("trace", help="export or summarize trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -184,11 +202,32 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    from repro.orchestrate import CampaignProgress
+
     names = sorted(_FUZZERS) if args.target == "all" else [args.target]
+    if args.cache_dir:
+        import os
+
+        if os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
+            print(f"error: --cache-dir {args.cache_dir!r} exists and is "
+                  f"not a directory", file=sys.stderr)
+            return 2
     status = 0
     for name in names:
         fuzzer = _FUZZERS[name]
-        report = fuzzer(trials=args.trials) if args.trials else fuzzer()
+        kwargs = {"jobs": args.jobs, "cache_dir": args.cache_dir}
+        if args.trials:
+            kwargs["trials"] = args.trials
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.progress:
+            import inspect
+
+            trials = args.trials or \
+                inspect.signature(fuzzer).parameters["trials"].default
+            kwargs["progress"] = CampaignProgress(
+                name, total_trials=trials, stream=sys.stderr)
+        report = fuzzer(**kwargs)
         print(report.summary())
         if not report.ok:
             status = 1

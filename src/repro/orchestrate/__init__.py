@@ -1,0 +1,47 @@
+"""Campaign orchestration: shard trial-indexed campaigns across processes.
+
+Every fuzz campaign, sensitivity sweep, and figure benchmark in this
+repository is *trial-indexed*: a pure function of ``(trial_index, rng)``
+is evaluated many times and the per-trial results are merged.  The paper
+validates LightPC by physically pulling AC from a prototype; we do it in
+simulation thousands of times, which is embarrassingly parallel — but
+parallelism is only useful if results are bit-identical regardless of
+how the work is sharded.  This package provides that:
+
+* :mod:`repro.orchestrate.seeding` — every trial gets an independent
+  ``random.Random`` derived from ``(campaign_seed, trial_index)``, so
+  the stream a trial sees never depends on shard boundaries, execution
+  order, or earlier trials.
+* :mod:`repro.orchestrate.runner` — :class:`CampaignRunner` splits the
+  trial range into shards, executes them inline (``jobs=1``) or on a
+  ``ProcessPoolExecutor``, and always merges in trial-index order.
+* :mod:`repro.orchestrate.cache` — completed shards are persisted on
+  disk keyed by a hash of (campaign name, config, seed, trial range) so
+  re-runs are incremental.
+* :mod:`repro.orchestrate.progress` — throughput / ETA / violation
+  reporting as the campaign runs.
+"""
+
+from repro.orchestrate.cache import NO_VALUE, ShardCache, fingerprint
+from repro.orchestrate.progress import CampaignProgress
+from repro.orchestrate.runner import (
+    Campaign,
+    CampaignRunner,
+    CampaignStats,
+    run_shard,
+)
+from repro.orchestrate.seeding import derive_seed, spawn_rngs, trial_rng
+
+__all__ = [
+    "Campaign",
+    "CampaignProgress",
+    "CampaignRunner",
+    "CampaignStats",
+    "NO_VALUE",
+    "ShardCache",
+    "derive_seed",
+    "fingerprint",
+    "run_shard",
+    "spawn_rngs",
+    "trial_rng",
+]

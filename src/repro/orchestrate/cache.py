@@ -1,0 +1,101 @@
+"""On-disk shard cache: re-running a campaign only executes new work.
+
+A shard's cache key is a SHA-256 over the campaign's *identity* — name,
+seed, trial-function parameters — plus the shard's trial range, so a
+warm re-run of the same campaign loads every shard from disk, while any
+change to the configuration or seed misses cleanly.  Values are pickled
+per-trial result lists, written atomically (temp file + rename) so a
+crashed run never leaves a torn cache entry; this repository of all
+places should not have torn writes in its own tooling.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any
+
+__all__ = ["NO_VALUE", "ShardCache", "fingerprint"]
+
+#: Sentinel distinguishing "cache miss" from a cached ``None``.
+NO_VALUE = object()
+
+
+def _canonical(value: Any) -> Any:
+    """Reduce a parameter value to a JSON-stable form for hashing."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {"__dataclass__": type(value).__name__,
+                "fields": _canonical(dataclasses.asdict(value))}
+    if isinstance(value, dict):
+        return {str(k): _canonical(v) for k, v in sorted(value.items(),
+                                                         key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_canonical(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(repr(_canonical(v)) for v in value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, bytes):
+        return value.hex()
+    if callable(value):
+        return f"{getattr(value, '__module__', '?')}." \
+               f"{getattr(value, '__qualname__', repr(value))}"
+    return repr(value)
+
+
+def fingerprint(payload: Any) -> str:
+    """Stable hex digest of an arbitrary (canonicalisable) payload."""
+    text = json.dumps(_canonical(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ShardCache:
+    """Pickle-per-shard cache under one directory.
+
+    ``hits`` / ``misses`` / ``stores`` counters let tests (and the
+    acceptance criterion — "a warm cache re-run completes without
+    re-executing any shard") observe exactly what was reused.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    def get(self, key: str) -> Any:
+        """The cached value, or :data:`NO_VALUE` on a miss."""
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as handle:
+                value = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            self.misses += 1
+            return NO_VALUE
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> Path:
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path

@@ -1,0 +1,100 @@
+"""Lightweight campaign progress: trials/sec, ETA, violation counts.
+
+The reporter is deliberately decoupled from the runner: it only ever
+receives "a shard of N trials finished (cached or executed, with V
+violations)" updates, so it works identically for inline and
+process-pool execution and never influences results.  Output goes to
+the stream handed in (the CLI passes ``sys.stderr``); with no stream it
+just accumulates counters, which is what the tests read.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import IO, Optional
+
+__all__ = ["CampaignProgress"]
+
+
+class CampaignProgress:
+    """Track and (optionally) print the heartbeat of one campaign."""
+
+    def __init__(self, name: str, total_trials: int,
+                 stream: Optional[IO[str]] = None,
+                 clock=time.monotonic) -> None:
+        self.name = name
+        self.total_trials = total_trials
+        self.stream = stream
+        self._clock = clock
+        self._started_at: Optional[float] = None
+        self.completed_trials = 0
+        self.executed_trials = 0
+        self.cached_trials = 0
+        self.violations = 0
+        self.cached_shards = 0
+        self.executed_shards = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> None:
+        self._started_at = self._clock()
+
+    def shard_done(self, trials: int, violations: int = 0,
+                   cached: bool = False) -> None:
+        if self._started_at is None:
+            self.start()
+        self.completed_trials += trials
+        self.violations += violations
+        if cached:
+            self.cached_trials += trials
+            self.cached_shards += 1
+        else:
+            self.executed_trials += trials
+            self.executed_shards += 1
+        self._emit(self.line())
+
+    def finish(self) -> None:
+        self._emit(f"{self.name}: done — {self.summary()}")
+
+    # -- derived metrics --------------------------------------------------
+
+    def elapsed_s(self) -> float:
+        if self._started_at is None:
+            return 0.0
+        return max(self._clock() - self._started_at, 1e-9)
+
+    def throughput(self) -> float:
+        """Completed trials per second (cached shards count as completed)."""
+        return self.completed_trials / self.elapsed_s()
+
+    def eta_s(self) -> float:
+        remaining = max(self.total_trials - self.completed_trials, 0)
+        rate = self.throughput()
+        return remaining / rate if rate > 0 else float("inf")
+
+    def percent(self) -> float:
+        if self.total_trials <= 0:
+            return 100.0
+        return 100.0 * self.completed_trials / self.total_trials
+
+    # -- rendering --------------------------------------------------------
+
+    def line(self) -> str:
+        eta = self.eta_s()
+        eta_text = f"{eta:.1f}s" if eta != float("inf") else "?"
+        return (f"{self.name}: {self.completed_trials}/{self.total_trials} "
+                f"trials ({self.percent():.0f}%), "
+                f"{self.throughput():.1f} trials/s, ETA {eta_text}, "
+                f"{self.violations} violations, "
+                f"{self.cached_shards} cached shards")
+
+    def summary(self) -> str:
+        return (f"{self.completed_trials} trials in {self.elapsed_s():.2f}s "
+                f"({self.throughput():.1f} trials/s), "
+                f"{self.violations} violations, "
+                f"{self.cached_shards} cached / "
+                f"{self.executed_shards} executed shards")
+
+    def _emit(self, text: str) -> None:
+        if self.stream is not None:
+            print(text, file=self.stream, flush=True)

@@ -1,0 +1,217 @@
+"""The campaign runner: shard, execute, cache, merge — deterministically.
+
+A :class:`Campaign` names a trial function and how many times to call
+it; the :class:`CampaignRunner` decides *how* the calls happen (inline
+or across a ``ProcessPoolExecutor``, cold or from a warm shard cache).
+The determinism contract is structural rather than promised:
+
+* every trial draws from its own RNG derived from
+  ``(campaign.seed, trial_index)`` (:mod:`repro.orchestrate.seeding`),
+  never from shared state;
+* shard boundaries depend only on the trial count, never on ``jobs``,
+  so the same campaign hits the same cache entries at any parallelism;
+* merged output is assembled in trial-index order no matter which
+  worker finished first.
+
+``jobs=1`` runs shards inline in the calling process — no executor, no
+pickling — and is byte-identical to any parallel run, which
+``tests/test_orchestrate.py`` asserts at several seeds.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Sequence
+
+from repro.orchestrate.cache import NO_VALUE, ShardCache, fingerprint
+from repro.orchestrate.progress import CampaignProgress
+from repro.orchestrate.seeding import trial_rng
+
+__all__ = ["Campaign", "CampaignRunner", "CampaignStats", "run_shard"]
+
+#: Default number of shards a campaign is cut into.  A function of the
+#: trial count only — never of ``jobs`` — so cache keys survive changes
+#: in parallelism while still leaving enough shards to load-balance.
+DEFAULT_TARGET_SHARDS = 16
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A trial-indexed unit of work.
+
+    ``trial_fn(trial_index, rng, **params)`` must be a module-level
+    callable (so it pickles into worker processes) and must derive all
+    randomness from the injected ``rng``.  ``params`` become part of the
+    cache fingerprint, so two campaigns differing only in, say, ``ops``
+    never share shards.
+    """
+
+    name: str
+    trials: int
+    trial_fn: Callable[..., Any]
+    seed: int = 0
+    params: dict = field(default_factory=dict)
+
+    def fingerprint(self) -> str:
+        return fingerprint({
+            "name": self.name,
+            "seed": self.seed,
+            "trial_fn": self.trial_fn,
+            "params": self.params,
+        })
+
+
+@dataclass
+class CampaignStats:
+    """What one :meth:`CampaignRunner.run` actually did."""
+
+    total_shards: int = 0
+    executed_shards: int = 0
+    cached_shards: int = 0
+    trials: int = 0
+    violations: int = 0
+
+
+def run_shard(campaign: Campaign, lo: int, hi: int) -> list:
+    """Execute trials ``[lo, hi)`` of a campaign; per-trial results.
+
+    Module-level so a ``ProcessPoolExecutor`` can pickle it; also the
+    inline (``jobs=1``) execution path, so both paths are literally the
+    same code.
+    """
+    return [
+        campaign.trial_fn(
+            index,
+            trial_rng(campaign.seed, index, namespace=campaign.name),
+            **campaign.params,
+        )
+        for index in range(lo, hi)
+    ]
+
+
+def _count_violations(results: Sequence[Any]) -> int:
+    total = 0
+    for result in results:
+        violations = getattr(result, "violations", None)
+        if violations is not None:
+            total += len(violations)
+    return total
+
+
+class CampaignRunner:
+    """Shard a campaign, execute the shards, merge in trial order."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[str | os.PathLike] = None,
+        shard_size: Optional[int] = None,
+        target_shards: int = DEFAULT_TARGET_SHARDS,
+        progress: Optional[CampaignProgress] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if shard_size is not None and shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        self.jobs = jobs
+        self.cache = ShardCache(cache_dir) if cache_dir else None
+        self.shard_size = shard_size
+        self.target_shards = max(1, target_shards)
+        self.progress = progress
+        self.last_stats = CampaignStats()
+
+    # -- sharding ---------------------------------------------------------
+
+    def shards(self, trials: int) -> list[tuple[int, int]]:
+        """Deterministic ``[lo, hi)`` shard boundaries for a trial count."""
+        if trials <= 0:
+            return []
+        size = self.shard_size or -(-trials // self.target_shards)
+        return [(lo, min(lo + size, trials)) for lo in range(0, trials, size)]
+
+    # -- execution --------------------------------------------------------
+
+    def run(self, campaign: Campaign,
+            shard_order: Optional[Sequence[int]] = None) -> list:
+        """All per-trial results of ``campaign``, in trial-index order.
+
+        ``shard_order`` (a permutation of shard indices) controls the
+        *submission* order only; it exists so tests can prove that
+        merged output does not depend on execution order.
+        """
+        shards = self.shards(campaign.trials)
+        order = list(range(len(shards))) if shard_order is None \
+            else list(shard_order)
+        if sorted(order) != list(range(len(shards))):
+            raise ValueError(
+                f"shard_order must be a permutation of 0..{len(shards) - 1}")
+
+        stats = CampaignStats(total_shards=len(shards))
+        progress = self.progress
+        if progress is not None:
+            progress.start()
+        base = campaign.fingerprint()
+        results: dict[int, list] = {}
+
+        def record(shard_index: int, shard_results: list, cached: bool) -> None:
+            results[shard_index] = shard_results
+            stats.trials += len(shard_results)
+            violations = _count_violations(shard_results)
+            stats.violations += violations
+            if cached:
+                stats.cached_shards += 1
+            else:
+                stats.executed_shards += 1
+            if progress is not None:
+                progress.shard_done(len(shard_results), violations=violations,
+                                    cached=cached)
+
+        pending: list[int] = []
+        for shard_index in order:
+            lo, hi = shards[shard_index]
+            if self.cache is not None:
+                key = fingerprint({"campaign": base, "lo": lo, "hi": hi})
+                value = self.cache.get(key)
+                if value is not NO_VALUE:
+                    record(shard_index, value, cached=True)
+                    continue
+            pending.append(shard_index)
+
+        if self.jobs == 1 or len(pending) <= 1:
+            for shard_index in pending:
+                lo, hi = shards[shard_index]
+                record(shard_index, run_shard(campaign, lo, hi), cached=False)
+                self._store(base, shards[shard_index], results[shard_index])
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(run_shard, campaign, *shards[shard_index]):
+                        shard_index
+                    for shard_index in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                    for future in done:
+                        shard_index = futures[future]
+                        record(shard_index, future.result(), cached=False)
+                        self._store(base, shards[shard_index],
+                                    results[shard_index])
+
+        self.last_stats = stats
+        if progress is not None:
+            progress.finish()
+        return [result
+                for shard_index in range(len(shards))
+                for result in results[shard_index]]
+
+    def _store(self, base: str, shard: tuple[int, int],
+               shard_results: list) -> None:
+        if self.cache is None:
+            return
+        lo, hi = shard
+        key = fingerprint({"campaign": base, "lo": lo, "hi": hi})
+        self.cache.put(key, shard_results)

@@ -235,3 +235,100 @@ def test_waiting_on_already_fired_event_resumes_immediately():
     sim.process(joiner(child))
     sim.run()
     assert log == [(10.0, "early")]
+
+
+# ---------------------------------------------------------------------------
+# edge cases: past scheduling, same-timestamp ordering, mid-yield exits
+# ---------------------------------------------------------------------------
+
+
+def test_schedule_into_past_raises():
+    sim = Simulator()
+    sim.advance(10.0)
+    with pytest.raises(SimulationError):
+        sim._schedule(Event(sim, "stale"), when=3.0)
+
+
+def test_succeed_with_negative_delay_schedules_into_past():
+    sim = Simulator()
+    sim.advance(5.0)
+    with pytest.raises(SimulationError):
+        sim.succeed(sim.event("late"), delay=-1.0)
+
+
+def test_same_timestamp_priority_beats_insertion_order():
+    sim = Simulator()
+    log = []
+    for name, priority in (("low-a", 1), ("high", 0), ("low-b", 1),
+                           ("urgent", -1)):
+        event = Event(sim, name)
+        event.add_callback(lambda _e, name=name: log.append(name))
+        sim._schedule(event, when=4.0, priority=priority)
+    sim.run()
+    assert log == ["urgent", "high", "low-a", "low-b"]
+
+
+def test_same_timestamp_equal_priority_is_fifo():
+    sim = Simulator()
+    log = []
+    for i in range(6):
+        event = Event(sim, f"e{i}")
+        event.add_callback(lambda _e, i=i: log.append(i))
+        sim._schedule(event, when=2.0, priority=7)
+    sim.run()
+    assert log == [0, 1, 2, 3, 4, 5]
+
+
+def test_interrupted_process_does_not_wedge_queue():
+    """A process torn down mid-yield must not stall unrelated events."""
+    sim = Simulator()
+    log = []
+
+    def waiter():
+        yield sim.timeout(100.0)
+        log.append("waiter-ran")  # must never happen
+
+    proc = sim.process(waiter())
+    sim.call_at(1.0, lambda: proc.interrupt())
+    sim.call_at(5.0, lambda: log.append("bystander"))
+    sim.run()
+    assert log == ["bystander"]
+    assert not proc.fired
+
+
+def test_process_exiting_mid_yield_releases_joiners_queue():
+    """A generator that returns between yields still fires its Process
+    event, so joiners resume instead of waiting forever."""
+    sim = Simulator()
+    log = []
+
+    def quits_early():
+        yield sim.timeout(2.0)
+        return "bail"  # exits with a pending sibling timeout outstanding
+
+    def joiner(child):
+        result = yield child
+        log.append((sim.now, result))
+
+    child = sim.process(quits_early())
+    sim.process(joiner(child))
+    sim.timeout(50.0)  # unrelated later event; queue must reach it
+    sim.run()
+    assert log == [(2.0, "bail")]
+    assert sim.now == 50.0
+
+
+def test_generator_close_during_yield_runs_cleanup():
+    sim = Simulator()
+    cleaned = []
+
+    def careful():
+        try:
+            yield sim.timeout(10.0)
+        finally:
+            cleaned.append(sim.now)
+
+    proc = sim.process(careful())
+    sim.call_at(3.0, lambda: proc.interrupt())
+    sim.run()
+    assert cleaned == [3.0]
