@@ -34,10 +34,16 @@ from repro.analysis.experiments import (
     figure22,
     full_run_scale,
     platform_matrix,
+    stats_tree,
     table1,
     table2,
 )
-from repro.analysis.report import render_notes, render_result, render_results
+from repro.analysis.report import (
+    render_notes,
+    render_result,
+    render_results,
+    render_stats,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -79,6 +85,8 @@ __all__ = [
     "render_notes",
     "render_result",
     "render_results",
+    "render_stats",
+    "stats_tree",
     "table1",
     "table2",
 ]

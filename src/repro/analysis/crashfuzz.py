@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro.core.machine import Machine
+from repro.memory.port import FaultInjector, InjectedPowerFailure
 from repro.memory.request import MemoryOp, MemoryRequest
 from repro.ocpmem.psm import PSM, PSMConfig
 from repro.orchestrate import Campaign, CampaignProgress, CampaignRunner
@@ -128,37 +129,45 @@ def _line_value(tag: int) -> bytes:
 
 
 def psm_trial(trial: int, rng: random.Random, ops: int = 120) -> TrialOutcome:
-    """One random write/flush stream against OC-PMEM, crashed mid-run."""
+    """One random write/flush stream against OC-PMEM, crashed mid-run.
+
+    The power cut comes from the port layer's
+    :class:`~repro.memory.port.FaultInjector` — the stream runs through
+    the interposer and the injector raises at the scheduled operation,
+    exactly where the paper pulls AC — instead of the fuzzer poking the
+    PSM's internals to decide when to die.
+    """
     outcome = TrialOutcome()
     psm = PSM(PSMConfig(lines_per_dimm=1 << 10), functional=True)
+    port = FaultInjector(psm, crash_at_op=rng.randrange(1, ops))
     lines = 24
     flushed: dict[int, int] = {}      # line -> version durable for sure
     history: dict[int, set[int]] = {i: {-1} for i in range(lines)}
     speculative: dict[int, int] = {}
-    crash_at = rng.randrange(1, ops)
     t = 0.0
     version = 0
-    for op_index in range(ops):
-        outcome.operations += 1
-        if op_index == crash_at:
-            break
-        if rng.random() < 0.25:
-            t = psm.flush(t)
-            flushed.update(speculative)
-            speculative.clear()
-        else:
-            line = rng.randrange(lines)
-            version += 1
-            response = psm.access(MemoryRequest(
-                MemoryOp.WRITE, address=line * 64,
-                data=_line_value(version), time=t))
-            t = response.complete_time
-            speculative[line] = version
-            history[line].add(version)
-    psm.power_cycle()
+    try:
+        for _ in range(ops):
+            outcome.operations += 1
+            if rng.random() < 0.25:
+                t = port.flush(t)
+                flushed.update(speculative)
+                speculative.clear()
+            else:
+                line = rng.randrange(lines)
+                version += 1
+                response = port.access(MemoryRequest(
+                    MemoryOp.WRITE, address=line * 64,
+                    data=_line_value(version), time=t))
+                t = response.complete_time
+                speculative[line] = version
+                history[line].add(version)
+    except InjectedPowerFailure:
+        pass
+    port.power_fail()
     outcome.crashes += 1
     for line in range(lines):
-        response = psm.access(MemoryRequest(
+        response = port.access(MemoryRequest(
             MemoryOp.READ, address=line * 64, time=0.0))
         value = response.data
         observed = value[0] if value and any(value) else -1

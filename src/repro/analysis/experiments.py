@@ -155,6 +155,27 @@ def platform_matrix(
     return _matrix_cached(names, refs, seed, jobs)
 
 
+def stats_tree(
+    platform: str = "lightpc",
+    workload: str = "aes",
+    refs: int = 8_000,
+    seed: int = 42,
+) -> dict:
+    """One machine's hierarchical stats registry after a workload run.
+
+    Every device on the platform publishes into the same tree —
+    ``memory.*`` from the backend (down to per-device counters like
+    ``memory.devices.dimm3.group0.writes`` on LightPC), ``cpu.core<i>.*``
+    from the complex — so the schema is uniform across all platforms.
+    Rendered by :func:`repro.analysis.report.render_stats` and exposed as
+    the ``stats`` CLI subcommand.
+    """
+    loaded = load_workload(workload, refs=refs, seed=seed)
+    machine = Machine.for_workload(platform, loaded)
+    machine.run(loaded)
+    return machine.stats_tree()
+
+
 # ---------------------------------------------------------------------------
 # Fig. 2b — latency variation: PMEM DIMM vs bare PRAM vs DRAM
 # ---------------------------------------------------------------------------

@@ -10,7 +10,7 @@ from typing import Iterable
 
 from repro.analysis.experiments import ExperimentResult
 
-__all__ = ["render_notes", "render_result", "render_results"]
+__all__ = ["render_notes", "render_result", "render_results", "render_stats"]
 
 
 def _format_cell(value) -> str:
@@ -59,3 +59,21 @@ def render_notes(result: ExperimentResult) -> list[str]:
 
 def render_results(results: Iterable[ExperimentResult]) -> str:
     return "\n\n".join(render_result(r) for r in results)
+
+
+def render_stats(tree: dict, indent: int = 0) -> list[str]:
+    """A stats-registry snapshot as an indented monospace outline.
+
+    Leaves are formatted with the same cell rules as the tables; nested
+    dicts (registry scopes, latency summaries) indent one level.
+    """
+    lines: list[str] = []
+    pad = "  " * indent
+    for key in sorted(tree):
+        value = tree[key]
+        if isinstance(value, dict):
+            lines.append(f"{pad}{key}:")
+            lines.extend(render_stats(value, indent + 1))
+        else:
+            lines.append(f"{pad}{key}: {_format_cell(value)}")
+    return lines

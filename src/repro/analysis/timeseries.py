@@ -21,7 +21,7 @@ def _totals(machine: Machine) -> tuple[int, float, dict[str, float]]:
     instructions = sum(
         core.stats.instructions for core in machine.complex.cores)
     busy_ns = sum(core.stats.total_ns for core in machine.complex.cores)
-    return instructions, busy_ns, machine._backend_counters()
+    return instructions, busy_ns, dict(machine.backend.counters())
 
 
 def execution_timeseries(

@@ -8,6 +8,7 @@ Subcommands mirror how the paper is used day to day:
 * ``bench``        — regenerate one paper table/figure (or ``all``).
 * ``characterize`` — print the measured Table II row for a workload.
 * ``fuzz``         — run the crash-consistency fuzzing campaigns.
+* ``stats``        — dump a platform's hierarchical stats tree after a run.
 """
 
 from __future__ import annotations
@@ -23,7 +24,7 @@ from repro.analysis.crashfuzz import (
     fuzz_psm,
     fuzz_sector,
 )
-from repro.analysis.report import render_result
+from repro.analysis.report import render_result, render_stats
 from repro.core import Machine
 from repro.power.psu import ATX_PSU, SERVER_PSU
 from repro.workloads import (
@@ -118,6 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--progress", action="store_true",
                       help="print trials/sec, ETA and violation counts "
                            "to stderr as the campaign runs")
+
+    tree = sub.add_parser("stats",
+                          help="run a workload, dump the machine's "
+                               "hierarchical stats tree")
+    tree.add_argument("--workload", default="aes",
+                      choices=sorted(WORKLOAD_SPECS))
+    tree.add_argument("--platform", default="lightpc",
+                      choices=("legacy", "lightpc_b", "lightpc"))
+    tree.add_argument("--refs", type=int, default=8_000)
+    tree.add_argument("--json", action="store_true",
+                      help="emit the tree as JSON instead of an outline")
 
     trace = sub.add_parser("trace", help="export or summarize trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -236,6 +248,23 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import stats_tree
+
+    tree = stats_tree(
+        platform=args.platform, workload=args.workload, refs=args.refs
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(tree, indent=2, sort_keys=True))
+        return 0
+    print(f"{args.workload} on {args.platform} ({args.refs:,} refs):")
+    for line in render_stats(tree, indent=1):
+        print(line)
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "export":
         workload = load_workload(args.workload, refs=args.refs)
@@ -258,6 +287,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "characterize": _cmd_characterize,
     "fuzz": _cmd_fuzz,
+    "stats": _cmd_stats,
     "trace": _cmd_trace,
 }
 

@@ -2,28 +2,37 @@
 
 A Machine owns the memory backend (DRAM for LegacyPC, a PSM for
 LightPC-B/LightPC), the multi-core complex, the PecOS kernel, the SnG
-orchestrator (LightPC family only), the power model, and a PSU.  It runs
-workloads, injects power failures, and recovers — the same life cycle the
-paper exercises by physically pulling AC from the prototype.
+orchestrator (non-volatile backends only), the power model, and a PSU.
+It runs workloads, injects power failures, and recovers — the same life
+cycle the paper exercises by physically pulling AC from the prototype.
+
+The Machine talks to memory exclusively through the
+:class:`repro.memory.port.MemoryBackend` protocol: row-buffer ratios,
+counters, the power-part inventory, and the SnG flush/capture ports all
+dispatch through the port, so a new tier (a hybrid
+:class:`~repro.memory.port.AddressRangePartition`, an interposer chain)
+plugs in by registering a factory — no Machine edits.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Optional
 
-from repro.core.config import PLATFORM_NAMES, PlatformConfig, PlatformName
+from repro.core.config import PlatformConfig, PlatformName
 from repro.core.results import PowerFailOutcome, RunResult
 from repro.cpu.complex import MultiCoreComplex
 from repro.memory.dram import DRAMSubsystem
+from repro.memory.port import MemoryBackend, assert_memory_backend
 from repro.ocpmem.psm import PSM
 from repro.pecos.kernel import Kernel
 from repro.pecos.sng import SnG
 from repro.power.model import PowerModel
 from repro.power.psu import ATX_PSU, PSUModel
+from repro.sim.stats import StatsRegistry
 from repro.workloads.suites import Workload
 from repro.workloads.trace import LocalityProfile, TraceGenerator
 
-__all__ = ["Machine"]
+__all__ = ["Machine", "register_backend_factory"]
 
 #: Background kernel-thread traffic profile (light, write-mixed).
 _KERNEL_NOISE_PROFILE = LocalityProfile(
@@ -37,6 +46,30 @@ _KERNEL_NOISE_PROFILE = LocalityProfile(
     instructions_per_access=6.0,
 )
 
+#: Builds the memory tier for one platform: (config, functional) -> backend.
+BackendFactory = Callable[[PlatformConfig, bool], MemoryBackend]
+
+_BACKEND_FACTORIES: dict[str, BackendFactory] = {
+    "legacy": lambda config, functional: DRAMSubsystem(config.dram),
+    "lightpc_b": lambda config, functional: PSM(
+        config.psm_config(baseline=True), functional=functional
+    ),
+    "lightpc": lambda config, functional: PSM(
+        config.psm_config(), functional=functional
+    ),
+}
+
+
+def register_backend_factory(platform: str, factory: BackendFactory) -> None:
+    """Teach Machine a new platform name.
+
+    The factory's product must satisfy the memory port protocol; the
+    Machine asserts conformance at construction.  This is the extension
+    point for hybrid tiers — a single backend class (or interposer
+    composition) plus one registration makes a runnable platform.
+    """
+    _BACKEND_FACTORIES[platform] = factory
+
 
 class Machine:
     """One platform instance."""
@@ -47,35 +80,32 @@ class Machine:
         config: Optional[PlatformConfig] = None,
         functional: bool = False,
     ) -> None:
-        if platform not in PLATFORM_NAMES:
+        factory = _BACKEND_FACTORIES.get(platform)
+        if factory is None:
             raise ValueError(
-                f"unknown platform {platform!r}; expected one of {PLATFORM_NAMES}"
+                f"unknown platform {platform!r}; expected one of "
+                f"{tuple(_BACKEND_FACTORIES)}"
             )
         self.platform = platform
         self.config = config or PlatformConfig()
         self.power_model = PowerModel()
 
-        self.backend: Union[DRAMSubsystem, PSM]
-        if platform == "legacy":
-            self.backend = DRAMSubsystem(self.config.dram)
-        else:
-            self.backend = PSM(
-                self.config.psm_config(baseline=(platform == "lightpc_b")),
-                functional=functional,
-            )
+        backend = factory(self.config, functional)
+        assert_memory_backend(backend, context=f"platform {platform!r}")
+        self.backend: MemoryBackend = backend
+        self.stats = StatsRegistry()
         self.complex = MultiCoreComplex(
             self.backend, cores=self.config.cores, core_config=self.config.core
         )
+        self._register_stats()
         self.kernel = Kernel(self.config.kernel)
         self.kernel.populate()
         self.sng: Optional[SnG] = None
-        if platform != "legacy":
+        if not self.backend.is_volatile:
             self.sng = SnG(
                 kernel=self.kernel,
-                flush_port=self.backend.flush,
                 dirty_lines_fn=self._dump_caches,
-                capture_hw_state=self.backend.capture_registers,
-                restore_hw_state=self.backend.restore_wear_registers,
+                port=self.backend,
             )
         self._powered = True
         self.runs: list[RunResult] = []
@@ -96,6 +126,43 @@ class Machine:
             workload.spec.profile.working_set_lines * 64 * workload.threads
         )
         return cls(platform, base.sized_for(footprint * 2), functional)
+
+    # -- backend wiring ----------------------------------------------------
+
+    def attach_backend(self, backend: MemoryBackend) -> None:
+        """Swap the memory tier under a fresh complex (sensitivity sweeps).
+
+        The replacement must satisfy the port protocol; the stats scopes
+        and the SnG orchestrator are re-wired to the new backend.
+        """
+        assert_memory_backend(
+            backend, context=f"platform {self.platform!r} backend swap"
+        )
+        self.backend = backend
+        self.complex = MultiCoreComplex(
+            backend, cores=self.config.cores, core_config=self.config.core
+        )
+        self.stats.drop()
+        self._register_stats()
+        self.sng = None
+        if not backend.is_volatile:
+            self.sng = SnG(
+                kernel=self.kernel,
+                dirty_lines_fn=self._dump_caches,
+                port=backend,
+            )
+
+    def _register_stats(self) -> None:
+        self.backend.register_stats(self.stats.scoped("memory"))
+        self.complex.register_stats(self.stats.scoped("cpu"))
+
+    def stats_tree(self) -> dict:
+        """One uniform hierarchical snapshot of every registered stat.
+
+        The same schema for all platforms: ``memory.*`` from the backend
+        (devices included), ``cpu.core<i>.*`` from the complex.
+        """
+        return {"platform": self.platform, **self.stats.snapshot()}
 
     # -- execution --------------------------------------------------------------
 
@@ -123,11 +190,12 @@ class Machine:
             workload=workload.name,
             complex_result=complex_result,
             power=self.power_report(complex_result.wall_ns),
-            backend_counters=self._backend_counters(),
-            mean_read_latency_ns=self.backend.read_latency.mean,
+            backend_counters=dict(self.backend.counters()),
+            mean_read_latency_ns=self._mean_read_latency(),
             cache_read_hit=self._mean_cache_ratio(read=True),
             cache_write_hit=self._mean_cache_ratio(read=False),
-            row_buffer_hit=self._row_buffer_hit(),
+            row_buffer_hit=self.backend.buffer_hit_ratio,
+            stats=self.stats.snapshot(),
         )
         self.runs.append(result)
         return result
@@ -135,7 +203,7 @@ class Machine:
     def _dump_caches(self) -> list[int]:
         """SnG's cache dump: count *and functionally write back* every
         core's dirty lines, so the EP-cut's memory image really contains
-        them before the PSM flush port runs."""
+        them before the backend flush port runs."""
         counts = [core.cache.dirty_count() for core in self.complex.cores]
         for core in self.complex.cores:
             core.flush_cache()
@@ -149,21 +217,12 @@ class Machine:
         ]
         return sum(ratios) / len(ratios) if ratios else 0.0
 
-    def _row_buffer_hit(self) -> float:
-        if isinstance(self.backend, PSM):
-            return self.backend.buffer_hits.ratio
-        return self.backend.row_hit_ratio
-
-    def _backend_counters(self) -> dict[str, float]:
-        if isinstance(self.backend, PSM):
-            counters = dict(self.backend.counters())
-            nvdimm = {"reads": 0, "writes": 0}
-            for dimm in self.backend.nvdimms:
-                for key, value in dimm.counters().items():
-                    nvdimm[key] += value
-            counters.update({f"nvdimm_{k}": v for k, v in nvdimm.items()})
-            return counters
-        return {k: float(v) for k, v in self.backend.counters().items()}
+    def _mean_read_latency(self) -> float:
+        # Not part of the port protocol: interposer chains and partitions
+        # have no single read distribution.  Backends that keep one
+        # (DRAM, PSM) expose it as ``read_latency``.
+        latency = getattr(self.backend, "read_latency", None)
+        return latency.mean if latency is not None else 0.0
 
     # -- power ---------------------------------------------------------------------
 
@@ -175,37 +234,9 @@ class Machine:
         counters — time-series callers pass per-window deltas.
         """
         model = self.power_model
+        counters = counters_override or self.backend.counters()
         parts = model.cpu_parts(self.config.cores, busy_fraction)
-        if self.platform == "legacy":
-            counters = counters_override or self.backend.counters()
-            dimms = 4.0
-            parts += [
-                ("dram_dimm", dimms, {
-                    k: v / dimms for k, v in counters.items()
-                }),
-                ("dram_complex", 1.0, None),
-                ("board_legacy", 1.0, None),
-            ]
-        else:
-            if counters_override is not None:
-                psm_counters = counters_override
-                nvdimm_counters = {
-                    "reads": counters_override.get("nvdimm_reads", 0.0),
-                    "writes": counters_override.get("nvdimm_writes", 0.0),
-                }
-            else:
-                psm_counters = self.backend.counters()
-                nvdimm_counters = {"reads": 0.0, "writes": 0.0}
-                for dimm in self.backend.nvdimms:
-                    for key, value in dimm.counters().items():
-                        nvdimm_counters[key] += value
-            parts += [
-                ("psm", 1.0, psm_counters),
-                ("bare_nvdimm", 6.0, {
-                    k: v / 6.0 for k, v in nvdimm_counters.items()
-                }),
-                ("board_light", 1.0, None),
-            ]
+        parts += self.backend.power_parts(counters)
         return model.report(duration_ns, parts)
 
     # -- power failure & recovery ----------------------------------------------------

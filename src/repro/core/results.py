@@ -26,6 +26,8 @@ class RunResult:
     cache_read_hit: float = 0.0
     cache_write_hit: float = 0.0
     row_buffer_hit: float = 0.0
+    #: hierarchical stats-registry snapshot taken at the end of the run
+    stats: dict = field(default_factory=dict)
 
     @property
     def wall_ns(self) -> float:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.memory.request import CACHELINE_BYTES
-from repro.sim.stats import RatioStat
+from repro.sim.stats import RatioStat, StatsRegistry
 
 __all__ = ["Cache", "CacheConfig"]
 
@@ -136,3 +136,15 @@ class Cache:
     @property
     def write_hit_ratio(self) -> float:
         return self.write_hits.ratio
+
+    def register_stats(self, stats: StatsRegistry) -> None:
+        """Publish hit/eviction stats under this scope.
+
+        Sources are lambdas (not the objects) because
+        :meth:`reset_stats` replaces the accumulators wholesale.
+        """
+        stats.register("read_hits", lambda: self.read_hits)
+        stats.register("write_hits", lambda: self.write_hits)
+        stats.register("evictions", lambda: self.evictions)
+        stats.register("dirty_evictions", lambda: self.dirty_evictions)
+        stats.register("occupancy", lambda: self.occupancy)

@@ -13,7 +13,9 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.cpu.core import Core, CoreConfig, CoreStats
-from repro.pmem.modes import MemoryBackend, SoftwareOverhead
+from repro.memory.port import MemoryBackend
+from repro.pmem.modes import SoftwareOverhead
+from repro.sim.stats import StatsRegistry
 
 __all__ = ["ComplexResult", "MultiCoreComplex"]
 
@@ -116,6 +118,13 @@ class MultiCoreComplex:
             per_core=[core.stats for core in self.cores],
             frequency_ghz=self.core_config.frequency_ghz,
         )
+
+    # -- observability -----------------------------------------------------------
+
+    def register_stats(self, stats: StatsRegistry) -> None:
+        """Publish every core's stats as ``core<i>`` under this scope."""
+        for core in self.cores:
+            core.register_stats(stats.scoped(f"core{core.core_id}"))
 
     # -- SnG hooks ------------------------------------------------------------------
 

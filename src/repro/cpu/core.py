@@ -17,12 +17,14 @@ core model is a calibrated accounting machine:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Optional
 
 from repro.cpu.cache import Cache, CacheConfig
+from repro.memory.port import MemoryBackend
 from repro.memory.request import MemoryOp, MemoryRequest
-from repro.pmem.modes import MemoryBackend, SoftwareOverhead
+from repro.pmem.modes import SoftwareOverhead
+from repro.sim.stats import StatsRegistry
 
 __all__ = ["Core", "CoreConfig", "CoreStats"]
 
@@ -182,3 +184,8 @@ class Core:
                 MemoryRequest(op=MemoryOp.WRITE, address=address, time=self.now)
             )
         return len(dirty), dirty
+
+    def register_stats(self, stats: StatsRegistry) -> None:
+        """Publish execution counters and the D$ under this scope."""
+        stats.register("exec", lambda: asdict(self.stats))
+        self.cache.register_stats(stats.scoped("dcache"))

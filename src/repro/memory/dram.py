@@ -14,10 +14,12 @@ the paper's comparisons depend on:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.memory.device import DRAMDevice, DRAMTiming
+from repro.memory.port import PortNotSupportedError, PowerPart
 from repro.memory.request import (
+    AddressSpaceError,
     CACHELINE_BYTES,
     MemoryOp,
     MemoryRequest,
@@ -25,7 +27,7 @@ from repro.memory.request import (
     ROW_BYTES,
 )
 from repro.memory.rowbuffer import OpenRowTracker
-from repro.sim.stats import LatencyStats
+from repro.sim.stats import LatencyStats, StatsRegistry
 
 __all__ = ["DRAMConfig", "DRAMSubsystem"]
 
@@ -91,10 +93,15 @@ class DRAMSubsystem:
             done = self.drain(request.time)
             return MemoryResponse(request, complete_time=done)
         if request.op is MemoryOp.RESET:
-            raise ValueError("DRAM has no reset port; that is a PSM interface")
+            return MemoryResponse(request, complete_time=self.reset(request.time))
         if request.size > CACHELINE_BYTES:
             raise ValueError(
                 f"DRAM boundary is cacheline-granular, got {request.size} B"
+            )
+        if request.end_address > self.config.capacity:
+            raise AddressSpaceError(
+                f"address {request.address:#x} outside DRAM capacity "
+                f"{self.config.capacity:#x}"
             )
         self._apply_refresh(request.time)
         rank_idx = self.rank_of(request.address)
@@ -135,6 +142,17 @@ class DRAMSubsystem:
         """Time when all ranks are quiescent (memory-fence semantics)."""
         return max([time] + [rank.busy_until for rank in self.ranks])
 
+    def flush(self, time: float) -> float:
+        """Flush port: volatile memory has no buffers to close — a flush
+        degenerates to the drain barrier (same as a FLUSH request)."""
+        return self.drain(time)
+
+    def reset(self, time: float) -> float:
+        """DRAM has no reset port; honest refusal instead of a fake ack."""
+        raise PortNotSupportedError(
+            "DRAM has no reset port; that is a PSM interface"
+        )
+
     def power_cycle(self) -> None:
         """Power loss: DRAM contents are destroyed."""
         for rank in self.ranks:
@@ -142,15 +160,59 @@ class DRAMSubsystem:
         self.rows.close_all()
         self._next_refresh = self.config.timing.refresh_interval_ns
 
+    # -- EP-cut register capture -------------------------------------------
+
+    def capture_registers(self) -> bytes:
+        """No persistent register file: the honest capture is empty."""
+        return b""
+
+    def restore_wear_registers(self, blob: bytes) -> None:
+        """Accept only the empty blob :meth:`capture_registers` produced."""
+        if blob:
+            raise PortNotSupportedError(
+                "DRAM has no wear registers to restore"
+            )
+
     # -- introspection -------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        """Host-visible capacity in bytes."""
+        return self.config.capacity
 
     @property
     def row_hit_ratio(self) -> float:
         return self.rows.hit_ratio
 
-    def counters(self) -> dict[str, int]:
+    @property
+    def buffer_hit_ratio(self) -> float:
+        """Uniform name for the open-row hit ratio at the port boundary."""
+        return self.rows.hit_ratio
+
+    def counters(self) -> dict[str, float]:
         return {
-            "reads": sum(r.read_count for r in self.ranks),
-            "writes": sum(r.write_count for r in self.ranks),
-            "refreshes": self.refresh_count,
+            "reads": float(sum(r.read_count for r in self.ranks)),
+            "writes": float(sum(r.write_count for r in self.ranks)),
+            "refreshes": float(self.refresh_count),
         }
+
+    def register_stats(self, stats: StatsRegistry) -> None:
+        stats.register("read", self.read_latency)
+        stats.register("write", self.write_latency)
+        stats.register("buffer_hit_ratio", lambda: self.rows.hit_ratio)
+        stats.register("counters", self.counters)
+        devices = stats.scoped("devices")
+        for index, rank in enumerate(self.ranks):
+            devices.register(
+                f"rank{index}",
+                lambda r=rank: {"reads": r.read_count, "writes": r.write_count},
+            )
+
+    def power_parts(self, counters: Mapping[str, float]) -> list[PowerPart]:
+        """LegacyPC memory inventory: DIMMs, controller complex, board."""
+        dimms = 4.0
+        return [
+            ("dram_dimm", dimms, {k: v / dimms for k, v in counters.items()}),
+            ("dram_complex", 1.0, None),
+            ("board_legacy", 1.0, None),
+        ]

@@ -170,3 +170,19 @@ class BareNVDIMM:
             "reads": sum(d.read_count for d in self.dies),
             "writes": sum(d.write_count for d in self.dies),
         }
+
+    def group_counters(self, group: int) -> dict[str, int]:
+        """Per-CE-group op counts (intra-DIMM parallelism observability)."""
+        dies = self.group_dies(group)
+        return {
+            "reads": sum(d.read_count for d in dies),
+            "writes": sum(d.write_count for d in dies),
+        }
+
+    def register_stats(self, stats) -> None:
+        """Publish DIMM totals and per-group counters under this scope."""
+        stats.register("counters", self.counters)
+        for group in range(self.groups):
+            stats.register(
+                f"group{group}", lambda g=group: self.group_counters(g)
+            )

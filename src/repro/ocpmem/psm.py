@@ -40,10 +40,12 @@ Two modelling choices worth flagging (also in DESIGN.md):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.memory.device import PRAMTiming
+from repro.memory.port import PowerPart
 from repro.memory.request import (
+    AddressSpaceError,
     CACHELINE_BYTES,
     MemoryOp,
     MemoryRequest,
@@ -53,7 +55,7 @@ from repro.memory.rowbuffer import WriteAggregationBuffer
 from repro.ocpmem.ecc import SymbolECC, XORCodec
 from repro.ocpmem.nvdimm import BareNVDIMM, Layout
 from repro.ocpmem.wear import StartGap
-from repro.sim.stats import LatencyStats, RatioStat
+from repro.sim.stats import LatencyStats, RatioStat, StatsRegistry
 
 __all__ = ["PSM", "PSMConfig", "MachineCheckError"]
 
@@ -171,7 +173,7 @@ class PSM:
     def _translate(self, address: int) -> tuple[int, BareNVDIMM, int]:
         logical_line = address // CACHELINE_BYTES
         if logical_line >= self.wear.lines:
-            raise ValueError(
+            raise AddressSpaceError(
                 f"address {address:#x} outside OC-PMEM capacity "
                 f"{self.capacity:#x}"
             )
@@ -590,8 +592,13 @@ class PSM:
 
     # -- introspection -----------------------------------------------------------------
 
+    @property
+    def buffer_hit_ratio(self) -> float:
+        """Write-aggregation buffer hit ratio at the port boundary."""
+        return self.buffer_hits.ratio
+
     def counters(self) -> dict[str, float]:
-        return {
+        counters: dict[str, float] = {
             "media_line_writes": self.media_line_writes,
             "reconstructions": self.reconstructions,
             "read_blocked_ns": self.read_blocked_ns,
@@ -600,3 +607,31 @@ class PSM:
             "wear_gap_moves": self.wear.gap_moves,
             "mce_count": self.mce_count,
         }
+        nvdimm = {"reads": 0, "writes": 0}
+        for dimm in self.nvdimms:
+            for key, value in dimm.counters().items():
+                nvdimm[key] += value
+        counters.update({f"nvdimm_{k}": v for k, v in nvdimm.items()})
+        return counters
+
+    def register_stats(self, stats: StatsRegistry) -> None:
+        stats.register("read", self.read_latency)
+        stats.register("write", self.write_latency)
+        stats.register("buffer_hit_ratio", lambda: self.buffer_hits.ratio)
+        stats.register("counters", self.counters)
+        devices = stats.scoped("devices")
+        for index, dimm in enumerate(self.nvdimms):
+            dimm.register_stats(devices.scoped(f"dimm{index}"))
+
+    def power_parts(self, counters: Mapping[str, float]) -> list[PowerPart]:
+        """LightPC memory inventory: the PSM, bare DIMMs, lean board."""
+        dimms = float(len(self.nvdimms))
+        nvdimm = {
+            "reads": counters.get("nvdimm_reads", 0.0) / dimms,
+            "writes": counters.get("nvdimm_writes", 0.0) / dimms,
+        }
+        return [
+            ("psm", 1.0, dict(counters)),
+            ("bare_nvdimm", dimms, nvdimm),
+            ("board_light", 1.0, None),
+        ]

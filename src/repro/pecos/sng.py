@@ -35,6 +35,7 @@ import pickle
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.memory.port import MemoryBackend
 from repro.pecos.bootloader import BCB, MachineRegisters
 from repro.pecos.interrupt import InterruptController
 from repro.pecos.kernel import Kernel
@@ -137,23 +138,38 @@ class GoReport:
 
 
 class SnG:
-    """Stop-and-Go orchestrator bound to a kernel and a memory flush port.
+    """Stop-and-Go orchestrator bound to a kernel and a memory port.
 
-    ``flush_port`` is the PSM flush callable ``(time_ns) -> done_ns``;
-    ``dirty_lines_fn`` reports per-core dirty cacheline counts at the cut.
+    The memory side is wired either from a whole ``port`` (any
+    :class:`repro.memory.port.MemoryBackend`, whose ``flush`` /
+    ``capture_registers`` / ``restore_wear_registers`` ports SnG drives)
+    or from the individual callables — ``flush_port`` is
+    ``(time_ns) -> done_ns``.  Explicit callables win over the port, so
+    tests can still stub a single surface.  ``dirty_lines_fn`` reports
+    per-core dirty cacheline counts at the cut.
     """
 
     def __init__(
         self,
         kernel: Kernel,
-        flush_port: Callable[[float], float],
-        dirty_lines_fn: Callable[[], list[int]],
+        flush_port: Optional[Callable[[float], float]] = None,
+        dirty_lines_fn: Optional[Callable[[], list[int]]] = None,
         timing: Optional[SnGTiming] = None,
         sim: Optional[Simulator] = None,
         capture_hw_state: Optional[Callable[[], bytes]] = None,
         restore_hw_state: Optional[Callable[[bytes], None]] = None,
+        port: Optional[MemoryBackend] = None,
     ) -> None:
+        if port is not None:
+            flush_port = flush_port or port.flush
+            capture_hw_state = capture_hw_state or port.capture_registers
+            restore_hw_state = restore_hw_state or port.restore_wear_registers
+        if flush_port is None:
+            raise TypeError("SnG needs flush_port= or port=")
+        if dirty_lines_fn is None:
+            raise TypeError("SnG needs dirty_lines_fn")
         self.kernel = kernel
+        self.port = port
         self.flush_port = flush_port
         self.dirty_lines_fn = dirty_lines_fn
         self.capture_hw_state = capture_hw_state

@@ -15,10 +15,12 @@ Three controllers manage the two memory technologies:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.memory.dram import DRAMSubsystem
+from repro.memory.port import PortNotSupportedError, PowerPart
 from repro.memory.request import (
+    AddressSpaceError,
     CACHELINE_BYTES,
     MemoryOp,
     MemoryRequest,
@@ -26,7 +28,7 @@ from repro.memory.request import (
     cacheline_of,
 )
 from repro.pmem.dimm import PMEMDIMM
-from repro.sim.stats import LatencyStats, RatioStat
+from repro.sim.stats import LatencyStats, RatioStat, StatsRegistry
 
 __all__ = ["NMEMController", "PMEMController"]
 
@@ -63,6 +65,13 @@ class PMEMController:
     def access(self, request: MemoryRequest) -> MemoryResponse:
         if request.op is MemoryOp.FLUSH:
             return MemoryResponse(request, complete_time=self.drain(request.time))
+        if request.op is MemoryOp.RESET:
+            return MemoryResponse(request, complete_time=self.reset(request.time))
+        if request.end_address > self.capacity:
+            raise AddressSpaceError(
+                f"address {request.address:#x} outside PMEM capacity "
+                f"{self.capacity:#x}"
+            )
         dimm, local = self._route(request.address)
         inner = MemoryRequest(
             op=request.op,
@@ -87,9 +96,56 @@ class PMEMController:
             done = max(done, dimm.flush(time))
         return done + self.ddrt.completion_ns
 
+    def flush(self, time: float) -> float:
+        """DDR-T flush: every DIMM's internal buffers drain to media."""
+        return self.drain(time)
+
+    def reset(self, time: float) -> float:
+        raise PortNotSupportedError(
+            "conventional PMEM DIMMs expose no host-visible reset port"
+        )
+
     def power_cycle(self) -> None:
         for dimm in self.dimms:
             dimm.power_cycle()
+
+    def capture_registers(self) -> bytes:
+        """DIMM-internal firmware owns its state; nothing for an EP-cut."""
+        return b""
+
+    def restore_wear_registers(self, blob: bytes) -> None:
+        if blob:
+            raise PortNotSupportedError(
+                "conventional PMEM exposes no wear registers"
+            )
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        counters = self.counters()
+        buffered = counters.get("sram_hits", 0.0) \
+            + counters.get("dram_buffer_hits", 0.0)
+        accesses = buffered + counters.get("media_reads", 0.0)
+        return buffered / accesses if accesses else 0.0
+
+    def counters(self) -> dict[str, float]:
+        merged: dict[str, float] = {}
+        for dimm in self.dimms:
+            for key, value in dimm.counters().items():
+                merged[key] = merged.get(key, 0.0) + value
+        return merged
+
+    def register_stats(self, stats: StatsRegistry) -> None:
+        stats.register("buffer_hit_ratio", lambda: self.buffer_hit_ratio)
+        stats.register("counters", self.counters)
+        devices = stats.scoped("devices")
+        for index, dimm in enumerate(self.dimms):
+            devices.register(f"dimm{index}", dimm.counters)
+
+    def power_parts(self, counters: Mapping[str, float]) -> list[PowerPart]:
+        dimms = float(len(self.dimms))
+        return [
+            ("pmem_dimm", dimms, {k: v / dimms for k, v in counters.items()}),
+        ]
 
 
 class NMEMController:
@@ -176,11 +232,59 @@ class NMEMController:
     def drain(self, time: float) -> float:
         return max(self.dram.drain(time), self.pmem.drain(time))
 
+    def flush(self, time: float) -> float:
+        return max(self.dram.flush(time), self.pmem.flush(time))
+
+    def reset(self, time: float) -> float:
+        raise PortNotSupportedError(
+            "memory mode exposes no reset port (volatile working memory)"
+        )
+
     def power_cycle(self) -> None:
         self._tags.clear()
         self.dram.power_cycle()
         self.pmem.power_cycle()
 
+    def capture_registers(self) -> bytes:
+        """The NMEM tag store is volatile by design; nothing to capture."""
+        return b""
+
+    def restore_wear_registers(self, blob: bytes) -> None:
+        if blob:
+            raise PortNotSupportedError(
+                "memory mode has no wear registers to restore"
+            )
+
     @property
     def hit_ratio(self) -> float:
         return self.hit_stats.ratio
+
+    @property
+    def buffer_hit_ratio(self) -> float:
+        """The near-memory cache hit ratio is the buffering this tier has."""
+        return self.hit_stats.ratio
+
+    def counters(self) -> dict[str, float]:
+        merged = {f"pmem_{k}": v for k, v in self.pmem.counters().items()}
+        merged.update(
+            {f"dram_{k}": v for k, v in self.dram.counters().items()}
+        )
+        merged["nmem_hits"] = float(self.hit_stats.hits)
+        merged["nmem_misses"] = float(
+            self.hit_stats.total - self.hit_stats.hits
+        )
+        return merged
+
+    def register_stats(self, stats: StatsRegistry) -> None:
+        stats.register("latency", self.latency)
+        stats.register("hit_ratio", self.hit_stats)
+        self.dram.register_stats(stats.scoped("dram"))
+        self.pmem.register_stats(stats.scoped("pmem"))
+
+    def power_parts(self, counters: Mapping[str, float]) -> list[PowerPart]:
+        fills = {"fills": counters.get("nmem_misses", 0.0)}
+        return (
+            self.dram.power_parts(self.dram.counters())
+            + self.pmem.power_parts(self.pmem.counters())
+            + [("nmem_ctrl", 1.0, fills)]
+        )

@@ -17,10 +17,10 @@ the CPU pays, and the component inventory the power model charges.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol
+from typing import Optional
 
 from repro.memory.dram import DRAMConfig, DRAMSubsystem
-from repro.memory.request import MemoryRequest, MemoryResponse
+from repro.memory.port import MemoryBackend
 from repro.pmem.controller import NMEMController, PMEMController
 from repro.pmem.dimm import PMEMDIMM
 from repro.pmem.pmdk import PMDKCostModel
@@ -34,16 +34,6 @@ __all__ = [
 ]
 
 MODE_NAMES = ("dram_only", "mem_mode", "app_mode", "object_mode", "trans_mode")
-
-
-class MemoryBackend(Protocol):
-    """What the CPU complex needs from a memory subsystem."""
-
-    is_volatile: bool
-
-    def access(self, request: MemoryRequest) -> MemoryResponse: ...
-
-    def drain(self, time: float) -> float: ...
 
 
 @dataclass(frozen=True)

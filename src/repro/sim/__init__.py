@@ -6,6 +6,7 @@ from repro.sim.stats import (
     Histogram,
     LatencyStats,
     RatioStat,
+    StatsRegistry,
     TimeSeries,
     geometric_mean,
     weighted_mean,
@@ -20,6 +21,7 @@ __all__ = [
     "RatioStat",
     "SimulationError",
     "Simulator",
+    "StatsRegistry",
     "TimeSeries",
     "Timeout",
     "geometric_mean",

@@ -9,14 +9,16 @@ are streaming and allocation-light so they can sit on hot paths.
 from __future__ import annotations
 
 import math
+import re
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Iterable, Iterator, Sequence, Union
 
 __all__ = [
     "Counter",
     "Histogram",
     "LatencyStats",
     "RatioStat",
+    "StatsRegistry",
     "TimeSeries",
     "geometric_mean",
     "weighted_mean",
@@ -231,6 +233,141 @@ class TimeSeries:
 
     def values(self) -> list[float]:
         return [v for _, v in self.points()]
+
+
+#: What can sit behind a registry path: an accumulator, a number, or a
+#: zero-argument callable producing any of these (including nested dicts).
+StatSource = Union["LatencyStats", "RatioStat", "Counter", int, float, object]
+
+_PATH_SEGMENT = re.compile(r"^[A-Za-z0-9_]+$")
+
+
+class StatsRegistry:
+    """Hierarchical registry of named statistics sources.
+
+    Every device registers its stats under a dotted path — the PSM's
+    third DIMM's first CE group publishes ``memory.devices.dimm3.group0``
+    — and the machine exports one uniform tree via :meth:`snapshot`.
+    Sources are resolved lazily at snapshot time, so registering is free
+    on hot paths and the tree always reflects current values:
+
+    * :class:`LatencyStats` resolve to their :meth:`LatencyStats.summary`,
+    * :class:`RatioStat` to ``{"hits", "total", "ratio"}``,
+    * :class:`Counter` to its dict,
+    * numbers pass through, and
+    * zero-argument callables are invoked and resolved recursively —
+      the idiom for live attributes (``lambda: psm.mce_count``) and for
+      objects the owner replaces wholesale (``lambda: cache.read_hits``).
+
+    ``scoped(prefix)`` returns a view that shares the same entries but
+    prepends ``prefix`` to every path, which is how a parent hands each
+    child device its own subtree without the child knowing where it sits.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, StatSource] = {}
+        self._prefix = ""
+
+    # -- registration -------------------------------------------------------
+
+    def _join(self, path: str) -> str:
+        if not path:
+            raise ValueError("stat path must be non-empty")
+        for segment in path.split("."):
+            if not _PATH_SEGMENT.match(segment):
+                raise ValueError(
+                    f"invalid stat path segment {segment!r} in {path!r}; "
+                    f"use [A-Za-z0-9_]+ joined by dots"
+                )
+        return f"{self._prefix}.{path}" if self._prefix else path
+
+    def scoped(self, prefix: str) -> "StatsRegistry":
+        """A view over the same registry with ``prefix`` prepended."""
+        view = StatsRegistry.__new__(StatsRegistry)
+        view._entries = self._entries
+        view._prefix = self._join(prefix)
+        return view
+
+    def register(self, path: str, source: StatSource) -> StatSource:
+        """Bind ``source`` at ``path`` (relative to this scope)."""
+        full = self._join(path)
+        for existing in self._entries:
+            if (existing == full or existing.startswith(full + ".")
+                    or full.startswith(existing + ".")):
+                raise ValueError(
+                    f"stat path {full!r} collides with registered "
+                    f"{existing!r}"
+                )
+        self._entries[full] = source
+        return source
+
+    def drop(self, prefix: str = "") -> int:
+        """Remove every entry under ``prefix``; returns how many."""
+        full = self._join(prefix) if prefix else self._prefix
+        doomed = [key for key in self._entries
+                  if not full or key == full or key.startswith(full + ".")]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    # -- export -------------------------------------------------------------
+
+    def paths(self) -> list[str]:
+        """Sorted registered paths visible from this scope (relative)."""
+        if not self._prefix:
+            return sorted(self._entries)
+        cut = len(self._prefix) + 1
+        return sorted(
+            key[cut:] for key in self._entries
+            if key.startswith(self._prefix + ".")
+        )
+
+    @staticmethod
+    def _resolve(source: StatSource):
+        if isinstance(source, LatencyStats):
+            return source.summary()
+        if isinstance(source, RatioStat):
+            return {"hits": source.hits, "total": source.total,
+                    "ratio": source.ratio}
+        if isinstance(source, Counter):
+            return {k: float(v) for k, v in source.as_dict().items()}
+        if isinstance(source, bool):
+            return float(source)
+        if isinstance(source, (int, float)):
+            return source
+        if isinstance(source, dict):
+            return {key: StatsRegistry._resolve(value)
+                    for key, value in source.items()}
+        if callable(source):
+            return StatsRegistry._resolve(source())
+        raise TypeError(f"cannot resolve stat source {type(source).__name__}")
+
+    def snapshot(self) -> dict:
+        """The stats tree under this scope as plain nested dicts."""
+        tree: dict = {}
+        for path in self.paths():
+            node = tree
+            parts = path.split(".")
+            for part in parts[:-1]:
+                node = node.setdefault(part, {})
+            node[parts[-1]] = self._resolve(
+                self._entries[self._join(path)]
+            )
+        return tree
+
+    def flat(self) -> dict[str, float]:
+        """The snapshot flattened to dotted-path -> float leaves."""
+        out: dict[str, float] = {}
+
+        def walk(prefix: str, value) -> None:
+            if isinstance(value, dict):
+                for key, child in value.items():
+                    walk(f"{prefix}.{key}" if prefix else key, child)
+            else:
+                out[prefix] = float(value)
+
+        walk("", self.snapshot())
+        return out
 
 
 def geometric_mean(values: Sequence[float]) -> float:

@@ -1,0 +1,87 @@
+"""Refactor guard: the port layer must not move a single bit of output.
+
+``tests/data/golden_port_refactor.json`` was captured from the pre-port
+code (ad-hoc backends, isinstance dispatch in Machine) at pinned seeds.
+These tests regenerate the same experiments through the port layer and
+compare with ``repr()`` serialization — byte-identical floats, not
+approximately-equal ones — so any timing, counter, or power drift the
+refactor introduces fails loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.experiments import figure2b, platform_matrix
+from repro.analysis.report import render_result
+
+GOLDEN_PATH = Path(__file__).parent / "data" / "golden_port_refactor.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+class TestFigure2bUnchanged:
+    @pytest.fixture(scope="class")
+    def live(self):
+        fig = figure2b(samples=600, seed=11)
+        return {
+            "experiment": fig.experiment,
+            "columns": fig.columns,
+            "rows": fig.rows,
+            "notes": {k: repr(v) for k, v in fig.notes.items()},
+            "rendered": render_result(fig),
+        }
+
+    def test_rows_identical(self, golden, live):
+        # round-trip through JSON so tuples/lists compare like the capture
+        assert json.loads(json.dumps(live["rows"])) == \
+            golden["figure2b"]["rows"]
+
+    def test_notes_identical(self, golden, live):
+        assert live["notes"] == golden["figure2b"]["notes"]
+
+    def test_rendering_identical(self, golden, live):
+        assert live["rendered"] == golden["figure2b"]["rendered"]
+        assert live["columns"] == golden["figure2b"]["columns"]
+        assert live["experiment"] == golden["figure2b"]["experiment"]
+
+
+class TestPlatformMatrixUnchanged:
+    @pytest.fixture(scope="class")
+    def live(self):
+        cells = platform_matrix(("aes", "redis"), refs=4000, seed=7)
+        matrix = {}
+        for (name, platform), result in sorted(cells.items()):
+            matrix[f"{name}/{platform}"] = {
+                "wall_ns": repr(result.wall_ns),
+                "instructions": result.instructions,
+                "ipc": repr(result.ipc),
+                "total_w": repr(result.total_w),
+                "energy_j": repr(result.energy_j),
+                "mean_read_latency_ns": repr(result.mean_read_latency_ns),
+                "cache_read_hit": repr(result.cache_read_hit),
+                "cache_write_hit": repr(result.cache_write_hit),
+                "row_buffer_hit": repr(result.row_buffer_hit),
+                "backend_counters": {
+                    k: repr(v)
+                    for k, v in sorted(result.backend_counters.items())
+                },
+            }
+        return matrix
+
+    def test_all_cells_present(self, golden, live):
+        assert sorted(live) == sorted(golden["platform_matrix"])
+
+    @pytest.mark.parametrize("cell", [
+        f"{w}/{p}"
+        for w in ("aes", "redis")
+        for p in ("legacy", "lightpc_b", "lightpc")
+    ])
+    def test_cell_byte_identical(self, golden, live, cell):
+        assert live[cell] == golden["platform_matrix"][cell]
