@@ -1,0 +1,188 @@
+"""Throughput baseline for the batched memory-access fast path.
+
+Replays a STREAM-derived cacheline request stream through each hot
+memory tier twice — once through the scalar ``access`` port (one
+``MemoryRequest`` object, one dispatch, one ``MemoryResponse`` per
+line) and once through ``access_batch`` with columnar
+:class:`~repro.memory.batch.RequestWindow` chunks — and reports
+accesses/second for both, per tier and in aggregate.
+
+Both runs start from a fresh backend instance and push the identical
+request sequence, so the timing work is the same; the measured gap is
+pure dispatch-and-object overhead, which is what the batch path exists
+to remove (``tests/test_batch_equivalence.py`` guarantees the answers
+match).  This is a plain script, not a pytest benchmark::
+
+    python benchmarks/bench_hotpath.py --quick --min-speedup 3
+
+writes ``BENCH_hotpath.json`` and exits non-zero if the aggregate
+stream speedup falls below the gate (the CI perf-smoke job runs exactly
+that).  Without ``--quick`` the stream is longer and each measurement
+is the best of three fresh runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.memory.batch import RequestWindow, backend_access_batch
+except ModuleNotFoundError:  # pragma: no cover - PYTHONPATH already set
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.memory.batch import RequestWindow, backend_access_batch
+
+from repro.memory.dram import DRAMSubsystem
+from repro.memory.request import CACHELINE_BYTES, MemoryOp, MemoryRequest
+from repro.ocpmem.psm import PSM
+from repro.pmem.controller import PMEMController
+from repro.pmem.dimm import PMEMDIMM
+from repro.workloads.stream import stream_kernel
+
+#: Nominal issue gap between consecutive cacheline misses (ns).  Dense
+#: enough that device queues see pressure, sparse enough that backlogs
+#: stay bounded; both paths replay the identical timestamps either way.
+_ISSUE_GAP_NS = 4.0
+
+_TIERS = {
+    "dram": lambda: DRAMSubsystem(),
+    "psm": lambda: PSM(),
+    "pmem": lambda: PMEMController([PMEMDIMM(), PMEMDIMM()]),
+}
+
+
+def stream_columns(count: int, capacity: int) -> tuple[list[bool], list[int], list[float]]:
+    """STREAM triad references as cacheline-granular request columns.
+
+    Triad is the most read-heavy kernel (2 reads : 1 write), which is
+    also the shape of post-cache memory traffic.  Addresses are aligned
+    down to lines and wrapped into ``capacity`` so the same stream fits
+    every tier.
+    """
+    kernel = stream_kernel("triad", elements=count // 3 + 1)
+    lines = (capacity // CACHELINE_BYTES) or 1
+    is_write: list[bool] = []
+    addresses: list[int] = []
+    times: list[float] = []
+    t = 0.0
+    for record in kernel:
+        if len(addresses) == count:
+            break
+        addresses.append(
+            (record.address // CACHELINE_BYTES) % lines * CACHELINE_BYTES
+        )
+        is_write.append(record.is_write)
+        times.append(t)
+        t += _ISSUE_GAP_NS
+    return is_write, addresses, times
+
+
+def _run_scalar(backend, columns) -> float:
+    """Seconds to serve the stream one ``access`` call at a time."""
+    is_write, addresses, times = columns
+    access = backend.access
+    read, write = MemoryOp.READ, MemoryOp.WRITE
+    start = time.perf_counter()
+    for w, address, t in zip(is_write, addresses, times):
+        access(MemoryRequest(write if w else read, address, time=t))
+    return time.perf_counter() - start
+
+
+def _run_batched(backend, columns, window: int) -> float:
+    """Seconds to serve the stream in columnar windows."""
+    is_write, addresses, times = columns
+    start = time.perf_counter()
+    for lo in range(0, len(addresses), window):
+        hi = lo + window
+        backend_access_batch(
+            backend,
+            RequestWindow(is_write[lo:hi], addresses[lo:hi], times[lo:hi]),
+        )
+    return time.perf_counter() - start
+
+
+def measure_tier(name: str, count: int, window: int, repeats: int) -> dict:
+    """Best-of-``repeats`` accesses/sec for one tier, scalar vs batched."""
+    capacity = _TIERS[name]().capacity if name == "psm" else (1 << 30)
+    columns = stream_columns(count, capacity)
+    scalar_s = min(
+        _run_scalar(_TIERS[name](), columns) for _ in range(repeats)
+    )
+    batched_s = min(
+        _run_batched(_TIERS[name](), columns, window) for _ in range(repeats)
+    )
+    return {
+        "accesses": count,
+        "scalar_s": scalar_s,
+        "batched_s": batched_s,
+        "scalar_aps": count / scalar_s,
+        "batched_aps": count / batched_s,
+        "speedup": scalar_s / batched_s,
+    }
+
+
+def run(count: int, window: int, repeats: int) -> dict:
+    tiers = {
+        name: measure_tier(name, count, window, repeats) for name in _TIERS
+    }
+    scalar_total = sum(t["scalar_s"] for t in tiers.values())
+    batched_total = sum(t["batched_s"] for t in tiers.values())
+    total = count * len(tiers)
+    return {
+        "workload": "stream-triad",
+        "window": window,
+        "repeats": repeats,
+        "tiers": tiers,
+        "stream": {
+            "accesses": total,
+            "scalar_aps": total / scalar_total,
+            "batched_aps": total / batched_total,
+            "speedup": scalar_total / batched_total,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="short stream, single repeat (CI smoke)")
+    parser.add_argument("--count", type=int, default=None,
+                        help="accesses per tier (default 8000 quick, "
+                             "40000 full)")
+    parser.add_argument("--window", type=int, default=4096,
+                        help="batch window size (default 4096)")
+    parser.add_argument("--out", default="BENCH_hotpath.json",
+                        help="result file (default BENCH_hotpath.json)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit 1 if aggregate stream speedup is below "
+                             "this")
+    args = parser.parse_args(argv)
+
+    count = args.count or (8_000 if args.quick else 40_000)
+    repeats = 1 if args.quick else 3
+    results = run(count, args.window, repeats)
+
+    print(f"{'tier':<6} {'scalar acc/s':>14} {'batched acc/s':>14} "
+          f"{'speedup':>8}")
+    for name, tier in results["tiers"].items():
+        print(f"{name:<6} {tier['scalar_aps']:>14,.0f} "
+              f"{tier['batched_aps']:>14,.0f} {tier['speedup']:>7.2f}x")
+    stream = results["stream"]
+    print(f"{'stream':<6} {stream['scalar_aps']:>14,.0f} "
+          f"{stream['batched_aps']:>14,.0f} {stream['speedup']:>7.2f}x")
+
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None and stream["speedup"] < args.min_speedup:
+        print(f"FAIL: stream speedup {stream['speedup']:.2f}x below gate "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,11 +9,18 @@ EXPERIMENTS.md can embed the exact output.
 from __future__ import annotations
 
 import os
+import sys
 from pathlib import Path
 
 import pytest
 
-from repro.analysis import ExperimentResult, render_result
+try:
+    from repro.analysis import ExperimentResult, render_result
+except ModuleNotFoundError:  # pragma: no cover - PYTHONPATH already set
+    # Allow `pytest benchmarks/` straight from a checkout without
+    # exporting PYTHONPATH=src or installing the package.
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis import ExperimentResult, render_result
 
 RESULTS_DIR = Path(__file__).parent / "results"
 

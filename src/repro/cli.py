@@ -131,6 +131,20 @@ def build_parser() -> argparse.ArgumentParser:
     tree.add_argument("--json", action="store_true",
                       help="emit the tree as JSON instead of an outline")
 
+    profile = sub.add_parser(
+        "profile",
+        help="cProfile one paper experiment and print the hotspots",
+    )
+    profile.add_argument("experiment", choices=sorted(_EXPERIMENTS))
+    profile.add_argument("--top", type=_positive_int, default=25,
+                         help="number of functions to print (default 25)")
+    profile.add_argument("--sort", default="cumulative",
+                         choices=("cumulative", "tottime", "calls"),
+                         help="pstats sort key (default cumulative)")
+    profile.add_argument("--out", metavar="FILE", default=None,
+                         help="also dump raw pstats data to FILE "
+                              "(inspect with snakeviz/pstats)")
+
     trace = sub.add_parser("trace", help="export or summarize trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     export = trace_sub.add_parser("export",
@@ -265,6 +279,32 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile one experiment end to end and print the top hotspots.
+
+    This is the measurement loop behind the batched-access work: run it
+    before and after touching a hot path, and the per-access dispatch
+    cost shows up (or disappears) in the cumulative column.
+    """
+    import cProfile
+    import pstats
+
+    experiment = _EXPERIMENTS[args.experiment]
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        experiment()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler, stream=sys.stdout)
+    if args.out:
+        stats.dump_stats(args.out)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.out:
+        print(f"raw profile written to {args.out}")
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "export":
         workload = load_workload(args.workload, refs=args.refs)
@@ -288,6 +328,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "fuzz": _cmd_fuzz,
     "stats": _cmd_stats,
+    "profile": _cmd_profile,
     "trace": _cmd_trace,
 }
 

@@ -9,6 +9,7 @@ OC-PMEM conflict experiments depend on.
 from __future__ import annotations
 
 import heapq
+import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
@@ -102,6 +103,19 @@ class MultiCoreComplex:
         ]
         heapq.heapify(heap)
         while heap:
+            if len(heap) == 1:
+                # Single survivor: no cross-core ordering left to respect,
+                # so drain the remaining trace in windows through the
+                # core's batched execution loop (identical accounting,
+                # amortized dispatch).
+                _, idx = heap[0]
+                core, thread_id, records = iterators[idx]
+                while True:
+                    window = list(itertools.islice(records, 4096))
+                    if not window:
+                        break
+                    core.execute_window(window, thread_id)
+                break
             _, idx = heapq.heappop(heap)
             core, thread_id, records = iterators[idx]
             record = next(records, None)

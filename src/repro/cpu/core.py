@@ -21,8 +21,9 @@ from dataclasses import asdict, dataclass
 from typing import Optional
 
 from repro.cpu.cache import Cache, CacheConfig
+from repro.memory.batch import RequestWindow, backend_access_batch
 from repro.memory.port import MemoryBackend
-from repro.memory.request import MemoryOp, MemoryRequest
+from repro.memory.request import MemoryOp, RequestPool
 from repro.pmem.modes import SoftwareOverhead
 from repro.sim.stats import StatsRegistry
 
@@ -101,6 +102,7 @@ class Core:
         self.stats = CoreStats()
         self.now = 0.0
         self._flush_debt = 0.0
+        self._pool = RequestPool()
 
     def execute(self, instructions: int, address: int, is_write: bool,
                 thread_id: int = 0) -> float:
@@ -137,14 +139,15 @@ class Core:
             self.now += cfg.cache.hit_ns
             return self.now
 
-        # Miss: line fill from the backend.
-        response = self.backend.access(
-            MemoryRequest(
-                op=MemoryOp.READ, address=address, time=self.now,
-                thread_id=thread_id,
-            )
+        # Miss: line fill from the backend.  The request comes from the
+        # pool and is recycled once the latency is read; on a backend
+        # exception it stays referenced by the failure's response prefix.
+        request = self._pool.acquire(
+            MemoryOp.READ, address, self.now, thread_id
         )
+        response = self.backend.access(request)
         fill_latency = response.latency
+        self._pool.release(request)
         if is_write:
             exposed = max(0.0, fill_latency - cfg.overlap_ns)
             stall = exposed * cfg.write_miss_expose
@@ -158,15 +161,175 @@ class Core:
             self._write_back(victim, thread_id)
         return self.now
 
+    def execute_window(self, records, thread_id: int = 0) -> float:
+        """Execute a run of trace records with per-record overhead hoisted.
+
+        Observationally identical to calling :meth:`execute` once per
+        record — same clock arithmetic, same cache and backend side
+        effects in the same order — but the config lookups, software-cost
+        products, cache locate math and stats increments are amortized
+        over the window.  Core timing is sequentially dependent (each
+        stall moves ``now`` for the next access), so misses still reach
+        the backend one at a time; the batch win here is pure dispatch
+        overhead.  Clock and counters are written back even when the
+        backend raises mid-window (power-failure injection), leaving
+        exactly the scalar prefix state.
+        """
+        cfg = self.config
+        base_cpi = cfg.base_cpi
+        cycle_ns = cfg.cycle_ns
+        overlap_ns = cfg.overlap_ns
+        expose = cfg.write_miss_expose
+        hit_ns = cfg.cache.hit_ns
+        overhead = self.overhead
+        read_cost = overhead.read_cost()
+        write_cost = overhead.write_cost()
+        extra_flush = overhead.extra_flush_writes
+        flush_step = overhead.extra_flush_writes * overhead.coverage
+        cache = self.cache
+        cache_config = cache.config
+        cache_sets = cache._sets
+        n_sets = cache_config.sets
+        line_bytes = cache_config.line_bytes
+        assoc = cache_config.ways
+        backend_access = self.backend.access
+        acquire = self._pool.acquire
+        release = self._pool.release
+        read_op = MemoryOp.READ
+        write_op = MemoryOp.WRITE
+        stats = self.stats
+        now = self.now
+        flush_debt = self._flush_debt
+        compute_ns = stats.compute_ns
+        software_ns = stats.software_ns
+        read_stall_ns = stats.read_stall_ns
+        write_stall_ns = stats.write_stall_ns
+        instr_count = 0
+        reads = 0
+        writes = 0
+        evictions = 0
+        read_hit_hits = 0
+        read_hit_total = 0
+        write_hit_hits = 0
+        write_hit_total = 0
+        cache_evictions = 0
+        cache_dirty_evictions = 0
+        try:
+            for record in records:
+                instructions = record.instructions
+                address = record.address
+                is_write = record.is_write
+                if instructions:
+                    compute = instructions * base_cpi * cycle_ns
+                    now += compute
+                    compute_ns += compute
+                    instr_count += instructions
+                instr_count += 1
+                if is_write:
+                    writes += 1
+                    if write_cost > 0:
+                        now += write_cost
+                        software_ns += write_cost
+                    if extra_flush > 0:
+                        flush_debt += flush_step
+                        while flush_debt >= 1.0:
+                            flush_debt -= 1.0
+                            evictions += 1
+                            request = acquire(
+                                write_op, address - address % 64, now,
+                                thread_id,
+                            )
+                            response = backend_access(request)
+                            release(request)
+                            blocked = response.blocked_ns
+                            if blocked > 0:
+                                write_stall_ns += blocked
+                                now += blocked
+                else:
+                    reads += 1
+                    if read_cost > 0:
+                        now += read_cost
+                        software_ns += read_cost
+                line = address // line_bytes
+                set_index = line % n_sets
+                ways = cache_sets[set_index]
+                tag = line // n_sets
+                if tag in ways:
+                    dirty = ways.pop(tag)
+                    ways[tag] = dirty or is_write
+                    if is_write:
+                        write_hit_hits += 1
+                        write_hit_total += 1
+                    else:
+                        read_hit_hits += 1
+                        read_hit_total += 1
+                    now += hit_ns
+                    continue
+                if is_write:
+                    write_hit_total += 1
+                else:
+                    read_hit_total += 1
+                victim_address = None
+                if len(ways) >= assoc:
+                    victim_tag, victim_dirty = ways.popitem(last=False)
+                    cache_evictions += 1
+                    if victim_dirty:
+                        cache_dirty_evictions += 1
+                        victim_address = (
+                            victim_tag * n_sets + set_index
+                        ) * line_bytes
+                ways[tag] = is_write
+                request = acquire(read_op, address, now, thread_id)
+                response = backend_access(request)
+                fill_latency = response.complete_time - now
+                release(request)
+                if is_write:
+                    exposed = fill_latency - overlap_ns
+                    if exposed < 0.0:
+                        exposed = 0.0
+                    stall = exposed * expose
+                    write_stall_ns += stall
+                else:
+                    fill_stall = fill_latency - overlap_ns
+                    stall = hit_ns if hit_ns >= fill_stall else fill_stall
+                    read_stall_ns += stall
+                now += stall
+                if victim_address is not None:
+                    evictions += 1
+                    request = acquire(
+                        write_op, victim_address, now, thread_id
+                    )
+                    response = backend_access(request)
+                    release(request)
+                    blocked = response.blocked_ns
+                    if blocked > 0:
+                        write_stall_ns += blocked
+                        now += blocked
+        finally:
+            self.now = now
+            self._flush_debt = flush_debt
+            stats.compute_ns = compute_ns
+            stats.software_ns = software_ns
+            stats.read_stall_ns = read_stall_ns
+            stats.write_stall_ns = write_stall_ns
+            stats.instructions += instr_count
+            stats.reads += reads
+            stats.writes += writes
+            stats.evictions += evictions
+            cache.read_hits.record_many(read_hit_hits, read_hit_total)
+            cache.write_hits.record_many(write_hit_hits, write_hit_total)
+            cache.evictions += cache_evictions
+            cache.dirty_evictions += cache_dirty_evictions
+        return now
+
     def _write_back(self, address: int, thread_id: int) -> None:
         """Posted dirty-line write-back; stalls only on backpressure."""
         self.stats.evictions += 1
-        response = self.backend.access(
-            MemoryRequest(
-                op=MemoryOp.WRITE, address=address, time=self.now,
-                thread_id=thread_id,
-            )
+        request = self._pool.acquire(
+            MemoryOp.WRITE, address, self.now, thread_id
         )
+        response = self.backend.access(request)
+        self._pool.release(request)
         if response.blocked_ns > 0:
             self.stats.write_stall_ns += response.blocked_ns
             self.now += response.blocked_ns
@@ -179,9 +342,14 @@ class Core:
     def flush_cache(self) -> tuple[int, list[int]]:
         """Dump the D$: write back all dirty lines; returns (count, addrs)."""
         dirty = self.cache.flush_dirty()
-        for address in dirty:
-            self.backend.access(
-                MemoryRequest(op=MemoryOp.WRITE, address=address, time=self.now)
+        if dirty:
+            # All write-backs issue at the same clock, which is exactly
+            # the window shape the batched backend path wants.
+            backend_access_batch(
+                self.backend,
+                RequestWindow(
+                    [True] * len(dirty), dirty, [self.now] * len(dirty)
+                ),
             )
         return len(dirty), dirty
 

@@ -40,6 +40,14 @@ from typing import (
     runtime_checkable,
 )
 
+from repro.memory.batch import (
+    BatchRequests,
+    BatchResponses,
+    RequestWindow,
+    ResponseWindow,
+    backend_access_batch,
+    default_access_batch,
+)
 from repro.memory.request import (
     AddressSpaceError,
     MemoryOp,
@@ -76,7 +84,24 @@ class PortNotSupportedError(ValueError):
 
 
 class InjectedPowerFailure(RuntimeError):
-    """Raised by :class:`FaultInjector` at the scheduled crash point."""
+    """Raised by :class:`FaultInjector` at the scheduled crash point.
+
+    ``completed`` carries the responses for the prefix of a batch that
+    finished before the crash tripped, so interposers above the injector
+    can account for the served prefix exactly (latency taps record it,
+    throttles charge its shaping delay) before re-raising.  Scalar
+    crashes leave it empty.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        completed: Optional[list[MemoryResponse]] = None,
+    ) -> None:
+        super().__init__(message)
+        self.completed: list[MemoryResponse] = (
+            completed if completed is not None else []
+        )
 
 
 @runtime_checkable
@@ -102,6 +127,19 @@ class MemoryBackend(Protocol):
         ...
 
     def access(self, request: MemoryRequest) -> MemoryResponse: ...
+
+    def access_batch(self, requests: BatchRequests) -> BatchResponses:
+        """Serve a whole request window; see :mod:`repro.memory.batch`.
+
+        Must be observationally identical to looping :meth:`access` over
+        the batch in order (same responses, stats and device state).
+        Callers dispatch through
+        :func:`repro.memory.batch.backend_access_batch`, which supplies
+        the default loop for backends that do not implement this method
+        — it is therefore deliberately NOT part of the
+        ``assert_memory_backend`` surface.
+        """
+        ...
 
     def flush(self, time: float) -> float:
         """Close buffers and drain in-flight work; returns the done time."""
@@ -138,7 +176,10 @@ class MemoryBackend(Protocol):
         ...
 
 
-#: Attribute names checked by :func:`assert_memory_backend`.
+#: Attribute names checked by :func:`assert_memory_backend`.  Note that
+#: ``access_batch`` is intentionally absent: a backend implementing only
+#: the scalar surface still conforms, and batching callers fall back to
+#: the default per-request loop via ``backend_access_batch``.
 _PROTOCOL_SURFACE = (
     "is_volatile",
     "capacity",
@@ -202,6 +243,14 @@ class Interposer:
     def access(self, request: MemoryRequest) -> MemoryResponse:
         return self.inner.access(request)
 
+    def access_batch(self, requests: BatchRequests) -> BatchResponses:
+        if type(self).access is not Interposer.access:
+            # The subclass customized the scalar path without providing a
+            # batch form: honor its override element by element rather
+            # than silently bypassing it.
+            return default_access_batch(self, requests)
+        return backend_access_batch(self.inner, requests)
+
     def flush(self, time: float) -> float:
         return self.inner.flush(time)
 
@@ -261,6 +310,39 @@ class LatencyTap(Interposer):
             self.read_latency.record(response.latency)
         return response
 
+    def _record_batch(self, responses) -> None:
+        # Partition per op while preserving order: each accumulator sees
+        # exactly the value sequence the scalar path would feed it.
+        reads: list[float] = []
+        writes: list[float] = []
+        if isinstance(responses, ResponseWindow):
+            latencies = responses.latencies()
+            for index, is_write in enumerate(responses.window.is_write):
+                if is_write:
+                    writes.append(latencies[index])
+                else:
+                    reads.append(latencies[index])
+        else:
+            for response in responses:
+                op = response.request.op
+                if op is MemoryOp.WRITE:
+                    writes.append(response.latency)
+                elif op is MemoryOp.READ:
+                    reads.append(response.latency)
+        if reads:
+            self.read_latency.record_many(reads)
+        if writes:
+            self.write_latency.record_many(writes)
+
+    def access_batch(self, requests: BatchRequests) -> BatchResponses:
+        try:
+            responses = backend_access_batch(self.inner, requests)
+        except InjectedPowerFailure as failure:
+            self._record_batch(failure.completed)
+            raise
+        self._record_batch(responses)
+        return responses
+
     def register_stats(self, stats: StatsRegistry) -> None:
         scope = stats.scoped(f"taps.{self.name}")
         scope.register("read", self.read_latency)
@@ -304,6 +386,104 @@ class BandwidthThrottle(Interposer):
             blocked_ns=response.blocked_ns + delay,
             error_contained=response.error_contained,
         )
+
+    def _rewrap(
+        self, window: RequestWindow, index: int, delay: float,
+        response: MemoryResponse,
+    ) -> MemoryResponse:
+        if delay == 0.0:
+            return response
+        return MemoryResponse(
+            window.request_at(index),
+            complete_time=response.complete_time,
+            occupied_until=response.occupied_until,
+            data=response.data,
+            reconstructed=response.reconstructed,
+            blocked_ns=response.blocked_ns + delay,
+            error_contained=response.error_contained,
+        )
+
+    def access_batch(self, requests: BatchRequests) -> BatchResponses:
+        window = requests if isinstance(requests, RequestWindow) \
+            else RequestWindow.from_requests(requests)
+        if window is None:
+            return default_access_batch(self, requests)
+        # The shaping recurrence is sequential but closed-form per
+        # element, so precompute the shifted issue times (and the
+        # ``_free_at`` trajectory, for exact state on a mid-window crash)
+        # before handing the whole window to the inner backend.
+        times = window.times
+        n = len(times)
+        cost = window.size / self.bytes_per_ns
+        free_at = self._free_at
+        delays = [0.0] * n
+        shifted_times = list(times)
+        trajectory = [0.0] * n
+        for index in range(n):
+            t = times[index]
+            delay = free_at - t
+            if delay > 0.0:
+                delays[index] = delay
+                t = t + delay
+                shifted_times[index] = t
+            free_at = t + cost
+            trajectory[index] = free_at
+        shifted = RequestWindow.__new__(RequestWindow)
+        shifted.is_write = window.is_write
+        shifted.addresses = window.addresses
+        shifted.times = shifted_times
+        shifted.thread_ids = window.thread_ids
+        shifted.size = window.size
+        shifted._source = None
+        try:
+            responses = backend_access_batch(self.inner, shifted)
+        except InjectedPowerFailure as failure:
+            served = len(failure.completed)
+            # The scalar path reserves link time before the inner access,
+            # so the crashing element's reservation stands; its shaping
+            # delay is only charged after a successful access, so the
+            # prefix alone lands in throttled_ns.
+            self._free_at = trajectory[min(served, n - 1)]
+            throttled = self.throttled_ns
+            completed = []
+            for index, response in enumerate(failure.completed):
+                delay = delays[index]
+                if delay != 0.0:
+                    throttled += delay
+                completed.append(self._rewrap(window, index, delay, response))
+            self.throttled_ns = throttled
+            failure.completed = completed
+            raise
+        self._free_at = free_at
+        throttled = self.throttled_ns
+        delayed = False
+        for delay in delays:
+            if delay != 0.0:
+                throttled += delay
+                delayed = True
+        self.throttled_ns = throttled
+        if not delayed:
+            return responses
+        if isinstance(responses, ResponseWindow):
+            blocked = responses.blocked
+            new_blocked = [
+                blocked[i] + delays[i] if delays[i] != 0.0 else blocked[i]
+                for i in range(n)
+            ]
+            overrides = None
+            if responses.overrides:
+                overrides = {
+                    index: self._rewrap(window, index, delays[index], resp)
+                    for index, resp in responses.overrides.items()
+                }
+            return ResponseWindow(
+                window, responses.complete, responses.occupied, new_blocked,
+                reconstructed=responses.reconstructed, overrides=overrides,
+            )
+        return [
+            self._rewrap(window, index, delays[index], response)
+            for index, response in enumerate(responses)
+        ]
 
     def register_stats(self, stats: StatsRegistry) -> None:
         stats.register("throttle.throttled_ns", lambda: self.throttled_ns)
@@ -381,6 +561,100 @@ class AddressRangePartition:
             blocked_ns=response.blocked_ns,
             error_contained=response.error_contained,
         )
+
+    @staticmethod
+    def _rewrap(
+        window: RequestWindow, index: int, response: MemoryResponse
+    ) -> MemoryResponse:
+        return MemoryResponse(
+            window.request_at(index),
+            complete_time=response.complete_time,
+            occupied_until=response.occupied_until,
+            data=response.data,
+            reconstructed=response.reconstructed,
+            blocked_ns=response.blocked_ns,
+            error_contained=response.error_contained,
+        )
+
+    def _forward_run(
+        self,
+        window: RequestWindow,
+        start: int,
+        stop: int,
+        region: AddressRange,
+        out: list[MemoryResponse],
+    ) -> None:
+        sub = window.subwindow(start, stop)
+        if region.rebase:
+            offset = region.start
+            sub.addresses = [address - offset for address in sub.addresses]
+            sub._source = None  # source requests hold un-rebased addresses
+        try:
+            responses = backend_access_batch(region.backend, sub)
+        except InjectedPowerFailure as failure:
+            if region.rebase:
+                rewrapped = [
+                    self._rewrap(window, start + j, response)
+                    for j, response in enumerate(failure.completed)
+                ]
+            else:
+                rewrapped = list(failure.completed)
+            failure.completed = out + rewrapped
+            raise
+        if region.rebase:
+            for j in range(len(responses)):
+                out.append(self._rewrap(window, start + j, responses[j]))
+        else:
+            out.extend(responses)
+
+    def access_batch(self, requests: BatchRequests) -> list[MemoryResponse]:
+        """Batch access, split only at region boundaries.
+
+        Maximal contiguous same-region runs are forwarded as sub-windows;
+        an out-of-range element first flushes the pending run (matching
+        the scalar path's partial side effects) and then raises.
+        """
+        window = requests if isinstance(requests, RequestWindow) \
+            else RequestWindow.from_requests(requests)
+        if window is None:
+            return default_access_batch(self, requests)
+        out: list[MemoryResponse] = []
+        addresses = window.addresses
+        size = window.size
+        run_start = 0
+        run_region: Optional[AddressRange] = None
+        for index, address in enumerate(addresses):
+            found: Optional[AddressRange] = None
+            for region in self.regions:
+                if region.start <= address < region.end:
+                    found = region
+                    break
+            error: Optional[AddressSpaceError] = None
+            if found is None:
+                error = AddressSpaceError(
+                    f"address {address:#x} outside every partition region"
+                )
+            elif address + size > found.end:
+                error = AddressSpaceError(
+                    f"request [{address:#x}, {address + size:#x}) crosses "
+                    f"the region boundary at {found.end:#x}"
+                )
+            if error is not None:
+                if run_region is not None:
+                    self._forward_run(window, run_start, index, run_region,
+                                      out)
+                raise error
+            if run_region is None:
+                run_region = found
+                run_start = index
+            elif found is not run_region:
+                self._forward_run(window, run_start, index, run_region, out)
+                run_region = found
+                run_start = index
+        if run_region is not None:
+            self._forward_run(window, run_start, len(addresses), run_region,
+                              out)
+        return out
 
     # -- protocol surface ---------------------------------------------------
 
@@ -487,6 +761,45 @@ class FaultInjector(Interposer):
                 data=self.corrupt_data_fn(request.address, request.data),
             )
         return self.inner.access(request)
+
+    def access_batch(self, requests: BatchRequests) -> BatchResponses:
+        """Batch access, split only at the scheduled crash index.
+
+        A window that does not contain the crash op passes through whole;
+        otherwise the pre-crash prefix is served, then
+        :class:`InjectedPowerFailure` is raised carrying the prefix
+        responses in ``completed``.
+        """
+        if self.corrupt_data_fn is not None:
+            # Corruption inspects per-request payloads: scalar loop.
+            return default_access_batch(self, requests)
+        n = len(requests)
+        crash = self.crash_at_op
+        start = self.op_index
+        if crash is None or self.tripped or not start <= crash < start + n:
+            self.op_index = start + n
+            return backend_access_batch(self.inner, requests)
+        k = crash - start
+        self.op_index = crash
+        completed: list[MemoryResponse] = []
+        if k:
+            if isinstance(requests, RequestWindow):
+                prefix: BatchRequests = requests.subwindow(0, k)
+            else:
+                prefix = list(requests[:k])
+            try:
+                completed = list(backend_access_batch(self.inner, prefix))
+            except InjectedPowerFailure as failure:
+                # A deeper injector crashed first.  The scalar path would
+                # have ticked once per attempted element, crashing one
+                # included — rewind the eager advance to match.
+                self.op_index = start + len(failure.completed) + 1
+                raise
+        self.tripped = True
+        raise InjectedPowerFailure(
+            f"injected power failure at operation {self.op_index}",
+            completed,
+        )
 
     def flush(self, time: float) -> float:
         self._tick()

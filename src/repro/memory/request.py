@@ -11,7 +11,7 @@ DRAM devices, 32 B for PRAM devices — §V-B of the paper).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = [
@@ -24,6 +24,7 @@ __all__ = [
     "MemoryOp",
     "MemoryRequest",
     "MemoryResponse",
+    "RequestPool",
     "cacheline_of",
     "row_of",
     "split_cacheline",
@@ -59,7 +60,7 @@ class MemoryOp(enum.Enum):
     RESET = "reset"
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryRequest:
     """A single request presented to a memory subsystem.
 
@@ -67,6 +68,11 @@ class MemoryRequest:
     (nanoseconds throughout this repository).  ``data`` is optional: the
     temporal path passes ``None`` and only timing is modelled; functional
     tests (ECC recovery, PMDK pools, EP-cut replay) pass real bytes.
+
+    The class is ``__slots__``-backed: requests sit on the per-access hot
+    path, and the slot layout roughly halves construction cost and memory
+    next to a ``__dict__`` dataclass.  ``metadata`` defaults to ``None``
+    (allocate a dict only for the rare annotated request).
     """
 
     op: MemoryOp
@@ -75,7 +81,7 @@ class MemoryRequest:
     time: float = 0.0
     data: Optional[bytes] = None
     thread_id: int = 0
-    metadata: dict = field(default_factory=dict)
+    metadata: Optional[dict] = None
 
     def __post_init__(self) -> None:
         if self.address < 0:
@@ -100,7 +106,7 @@ class MemoryRequest:
         return self.address + self.size
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryResponse:
     """Completion record for a request.
 
@@ -108,6 +114,9 @@ class MemoryResponse:
     data arrival; for early-return writes: acceptance).  ``occupied_until``
     is when the underlying media actually finishes — the gap between the two
     is what early-return writes exploit and what a flush must wait out.
+
+    ``__slots__``-backed for the same hot-path reasons as
+    :class:`MemoryRequest`.
     """
 
     request: MemoryRequest
@@ -125,6 +134,62 @@ class MemoryResponse:
     @property
     def latency(self) -> float:
         return self.complete_time - self.request.time
+
+
+class RequestPool:
+    """Free-list of :class:`MemoryRequest` objects for hot loops.
+
+    The trace-driven core issues one request per cache miss and drops it
+    (and its response) immediately after reading the latency, so the
+    allocator churn is pure overhead.  The pool recycles request objects:
+    :meth:`acquire` fills the slots of a free object directly — skipping
+    ``__init__`` and its validation, which the caller guarantees by
+    construction (non-negative cacheline addresses, no data payload) —
+    and :meth:`release` returns it once the caller is done.
+
+    Releasing a request that something else still references is the
+    caller's bug; the single intended user is a loop that owns the whole
+    request/response lifetime.
+    """
+
+    __slots__ = ("_free", "max_size")
+
+    def __init__(self, max_size: int = 256) -> None:
+        self._free: list[MemoryRequest] = []
+        self.max_size = max_size
+
+    def acquire(
+        self,
+        op: MemoryOp,
+        address: int,
+        time: float,
+        thread_id: int = 0,
+        size: int = CACHELINE_BYTES,
+    ) -> MemoryRequest:
+        free = self._free
+        if free:
+            request = free.pop()
+            request.op = op
+            request.address = address
+            request.size = size
+            request.time = time
+            request.thread_id = thread_id
+            return request
+        request = MemoryRequest.__new__(MemoryRequest)
+        request.op = op
+        request.address = address
+        request.size = size
+        request.time = time
+        request.data = None
+        request.thread_id = thread_id
+        request.metadata = None
+        return request
+
+    def release(self, request: MemoryRequest) -> None:
+        if len(self._free) < self.max_size:
+            request.data = None
+            request.metadata = None
+            self._free.append(request)
 
 
 def cacheline_of(address: int) -> int:

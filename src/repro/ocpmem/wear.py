@@ -137,6 +137,11 @@ class StartGap:
         self.gap_cycles = 0
         self.gap_moves = 0
         self.seed_rotations = 0
+        #: Bumped whenever the logical-to-physical mapping changes (gap
+        #: movement, seed rotation, register restore).  Lets callers
+        #: memoize :meth:`map` results and invalidate by comparison
+        #: instead of re-walking the Feistel network per access.
+        self.generation = 0
         self.track_wear = track_wear
         self.physical_writes: dict[int, int] = {}
 
@@ -192,6 +197,7 @@ class StartGap:
         returns to the top, and Start advances — completing one rotation
         of the whole logical-to-physical mapping.
         """
+        self.generation += 1
         if self.gap == 0:
             if self.move_fn is not None:
                 self.move_fn(self.lines, 0)
@@ -227,6 +233,7 @@ class StartGap:
         new_seed = (self._randomizer.seed * 0x9E3779B1 + 0xABCD) & 0xFFFFFFFF
         self._randomizer = FeistelPermutation(self._units, new_seed)
         self.seed_rotations += 1
+        self.generation += 1
         if old_map is not None and self.move_fn is not None:
             self._migrate(old_map)
         return self.GAP_MOVE_NS * self.lines  # bulk migration cost
@@ -278,6 +285,7 @@ class StartGap:
         self.write_count = regs.write_count
         self.gap_cycles = regs.gap_cycles
         self._randomizer = FeistelPermutation(self._units, regs.seed)
+        self.generation += 1
 
     # -- endurance analysis -----------------------------------------------------
 

@@ -17,6 +17,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from repro.memory.batch import (
+    BatchRequests,
+    BatchResponses,
+    RequestWindow,
+    ResponseWindow,
+    backend_access_batch,
+    default_access_batch,
+)
 from repro.memory.dram import DRAMSubsystem
 from repro.memory.port import PortNotSupportedError, PowerPart
 from repro.memory.request import (
@@ -88,6 +96,115 @@ class PMEMController:
             occupied_until=response.occupied_until,
             data=response.data,
             blocked_ns=response.blocked_ns,
+        )
+
+    def access_batch(self, requests: BatchRequests) -> BatchResponses:
+        """Scatter a window across the DIMMs and gather shifted responses.
+
+        Cachelines interleave across DIMMs and the DIMMs share no state,
+        so serving each DIMM's sub-window as one contiguous batch (order
+        preserved within a DIMM) is observationally identical to the
+        scalar per-request routing.  Capacity errors — the controller's
+        own and the DIMM-local one — are pre-checked in arrival order so
+        exactly the scalar prefix of side effects lands before the raise.
+        """
+        window = requests if isinstance(requests, RequestWindow) \
+            else RequestWindow.from_requests(requests)
+        if window is None:
+            return default_access_batch(self, requests)
+        dimms = self.dimms
+        n_dimms = len(dimms)
+        request_ns = self.ddrt.request_ns
+        completion_ns = self.ddrt.completion_ns
+        capacity = self.capacity
+        size = window.size
+        oversize = size > CACHELINE_BYTES
+        addresses = window.addresses
+        times = window.times
+        is_write = window.is_write
+        thread_ids = window.thread_ids
+        n = len(addresses)
+        sub_write: list[list[bool]] = [[] for _ in range(n_dimms)]
+        sub_addr: list[list[int]] = [[] for _ in range(n_dimms)]
+        sub_time: list[list[float]] = [[] for _ in range(n_dimms)]
+        sub_tid: list[list[int]] = [[] for _ in range(n_dimms)]
+        sub_index: list[list[int]] = [[] for _ in range(n_dimms)]
+        error: Optional[ValueError] = None
+        for index in range(n):
+            address = addresses[index]
+            if address + size > capacity:
+                error = AddressSpaceError(
+                    f"address {address:#x} outside PMEM capacity "
+                    f"{capacity:#x}"
+                )
+                break
+            if oversize:
+                error = ValueError(
+                    "PMEM DIMM boundary is cacheline-granular"
+                )
+                break
+            line = address // CACHELINE_BYTES
+            dimm_index = line % n_dimms
+            local = (line // n_dimms) * CACHELINE_BYTES \
+                + address % CACHELINE_BYTES
+            if local + size > dimms[dimm_index].capacity:
+                error = ValueError(
+                    f"address {local:#x} outside DIMM capacity"
+                )
+                break
+            sub_write[dimm_index].append(is_write[index])
+            sub_addr[dimm_index].append(local)
+            sub_time[dimm_index].append(times[index] + request_ns)
+            if thread_ids is not None:
+                sub_tid[dimm_index].append(thread_ids[index])
+            sub_index[dimm_index].append(index)
+        complete_col = [0.0] * n
+        occupied_col = [0.0] * n
+        blocked_col = [0.0] * n
+        overrides: dict[int, MemoryResponse] = {}
+        for dimm_index in range(n_dimms):
+            indices = sub_index[dimm_index]
+            if not indices:
+                continue
+            sub = RequestWindow.__new__(RequestWindow)
+            sub.is_write = sub_write[dimm_index]
+            sub.addresses = sub_addr[dimm_index]
+            sub.times = sub_time[dimm_index]
+            sub.thread_ids = (
+                sub_tid[dimm_index] if thread_ids is not None else None
+            )
+            sub.size = size
+            sub._source = None
+            responses = backend_access_batch(dimms[dimm_index], sub)
+            if isinstance(responses, ResponseWindow):
+                sub_complete = responses.complete
+                sub_occupied = responses.occupied
+                sub_blocked = responses.blocked
+                for position, index in enumerate(indices):
+                    complete_col[index] = \
+                        sub_complete[position] + completion_ns
+                    occupied_col[index] = sub_occupied[position]
+                    blocked_col[index] = sub_blocked[position]
+            else:
+                for position, index in enumerate(indices):
+                    response = responses[position]
+                    complete = response.complete_time + completion_ns
+                    complete_col[index] = complete
+                    occupied_col[index] = response.occupied_until
+                    blocked_col[index] = response.blocked_ns
+                    if response.data is not None:
+                        overrides[index] = MemoryResponse(
+                            window.request_at(index),
+                            complete_time=complete,
+                            occupied_until=response.occupied_until,
+                            data=response.data,
+                            blocked_ns=response.blocked_ns,
+                        )
+        if error is not None:
+            raise error
+        return ResponseWindow(
+            window, complete_col, occupied_col, blocked_col,
+            overrides=overrides if overrides else None,
         )
 
     def drain(self, time: float) -> float:
@@ -228,6 +345,12 @@ class NMEMController:
             )
         self.latency.record(out.latency)
         return out
+
+    def access_batch(self, requests: BatchRequests) -> BatchResponses:
+        """Memory mode keeps the scalar path: every access re-routes
+        through the tag store, so there is no columnar shortcut — the
+        default loop is the whole implementation."""
+        return default_access_batch(self, requests)
 
     def drain(self, time: float) -> float:
         return max(self.dram.drain(time), self.pmem.drain(time))

@@ -60,11 +60,24 @@ class Event:
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         if self.fired:
             raise SimulationError("cannot add a callback to a fired event")
+        if self.cancelled:
+            raise SimulationError(
+                "cannot add a callback to a cancelled event"
+            )
         self._callbacks.append(callback)
 
     def cancel(self) -> None:
-        """Prevent the event from firing when popped from the queue."""
+        """Prevent the event from firing when popped from the queue.
+
+        Callbacks are dropped immediately: a callback registered before
+        the cancel can never run afterwards, and registering one after
+        raises — without this, a cancel racing a late ``add_callback``
+        left the callback parked on a dead event forever (the silent
+        lost-wakeup that hung SnG phase chains), and the cancelled event
+        pinned every callback closure until the queue entry drained.
+        """
         self.cancelled = True
+        self._callbacks.clear()
 
     def _fire(self) -> None:
         if self.cancelled:

@@ -16,6 +16,7 @@ measured by the caller.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -75,6 +76,18 @@ class StreamKernel:
                 address=self._array_base(destination) + offset,
                 is_write=True,
             )
+
+    def windows(self, window: int = 4096) -> Iterator[list[TraceRecord]]:
+        """The kernel's trace chunked into record windows (see
+        :meth:`repro.workloads.trace.TraceGenerator.windows`)."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        records = iter(self)
+        while True:
+            chunk = list(itertools.islice(records, window))
+            if not chunk:
+                return
+            yield chunk
 
     @property
     def bytes_moved(self) -> int:

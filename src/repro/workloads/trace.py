@@ -23,6 +23,7 @@ baseline, write bursts that serialize on the PRAM dies.
 
 from __future__ import annotations
 
+import itertools
 import random
 from collections import deque
 from dataclasses import dataclass
@@ -163,3 +164,21 @@ class TraceGenerator:
                 address=self.base_address + address,
                 is_write=is_write,
             )
+
+    def windows(
+        self, count: int, window: int = 4096
+    ) -> Iterator[list[TraceRecord]]:
+        """The same trace chunked into record windows.
+
+        Same records in the same order as :meth:`records`; the chunked
+        shape feeds :meth:`repro.cpu.core.Core.execute_window` and the
+        batched memory path without per-record dispatch.
+        """
+        if window <= 0:
+            raise ValueError("window must be positive")
+        records = self.records(count)
+        while True:
+            chunk = list(itertools.islice(records, window))
+            if not chunk:
+                return
+            yield chunk

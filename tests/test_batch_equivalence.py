@@ -1,0 +1,280 @@
+"""Batch/scalar equivalence for every registered memory backend.
+
+``access_batch`` is a pure performance port: for any request stream it
+must be observationally identical to looping scalar ``access`` — same
+responses, same stats tree, same wear registers and counters, same
+device state.  These tests drive the same deterministic (and
+hypothesis-generated) streams through two fresh instances of each
+backend, one per path, and diff everything observable.
+
+The native fast paths (DRAM, PSM, PMEM controller/DIMM) are also pinned
+to actually return a :class:`ResponseWindow`, so a silent fall-back to
+the default loop fails the suite instead of quietly losing the speedup.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.batch import (
+    RequestWindow,
+    ResponseWindow,
+    backend_access_batch,
+)
+from repro.memory.dram import DRAMConfig, DRAMSubsystem
+from repro.memory.port import (
+    AddressRange,
+    AddressRangePartition,
+    BandwidthThrottle,
+    FaultInjector,
+    InjectedPowerFailure,
+    LatencyTap,
+)
+from repro.memory.request import CACHELINE_BYTES, MemoryOp, MemoryRequest
+from repro.ocpmem.psm import PSM, PSMConfig
+from repro.pmem.controller import NMEMController, PMEMController
+from repro.pmem.dimm import PMEMDIMM
+from repro.sim.stats import StatsRegistry
+
+
+def _pmem():
+    return PMEMController(
+        [PMEMDIMM(capacity=1 << 22), PMEMDIMM(capacity=1 << 22)]
+    )
+
+
+BACKENDS = {
+    "dram": lambda: DRAMSubsystem(DRAMConfig(capacity=1 << 22, ranks=4)),
+    "psm": lambda: PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10)),
+    "pmem": _pmem,
+    "nmem": lambda: NMEMController(
+        DRAMSubsystem(DRAMConfig(capacity=1 << 20, ranks=4)), _pmem()
+    ),
+}
+
+#: Tiers whose ``access_batch`` is a native columnar loop (must return a
+#: ResponseWindow for window-shaped input, not fall back to the default).
+NATIVE = ("dram", "psm", "pmem")
+
+
+def _capacity(backend) -> int:
+    cap = getattr(backend, "capacity", None)
+    if cap is None:
+        cap = backend.config.capacity
+    return cap if isinstance(cap, int) else backend.config.capacity
+
+
+def make_columns(capacity: int, count: int, seed: int):
+    """A deterministic line-granular stream with reuse and bursts."""
+    rng = random.Random(seed)
+    lines = capacity // CACHELINE_BYTES
+    hot = [rng.randrange(lines) for _ in range(24)]
+    is_write, addresses, times = [], [], []
+    t = 0.0
+    for _ in range(count):
+        line = rng.choice(hot) if rng.random() < 0.6 else rng.randrange(lines)
+        addresses.append(line * CACHELINE_BYTES)
+        is_write.append(rng.random() < 0.35)
+        times.append(t)
+        t += rng.choice((0.0, 0.5, 2.0, 19.0))
+    return is_write, addresses, times
+
+
+def run_scalar(backend, columns) -> list:
+    is_write, addresses, times = columns
+    out = []
+    for w, address, t in zip(is_write, addresses, times):
+        out.append(backend.access(MemoryRequest(
+            MemoryOp.WRITE if w else MemoryOp.READ, address, time=t)))
+    return out
+
+
+def run_batched(backend, columns, window: int):
+    """Push the stream through ``access_batch`` in window chunks."""
+    is_write, addresses, times = columns
+    outputs = []
+    responses = []
+    for lo in range(0, len(addresses), window):
+        hi = lo + window
+        out = backend_access_batch(backend, RequestWindow(
+            is_write[lo:hi], addresses[lo:hi], times[lo:hi]))
+        outputs.append(out)
+        responses.extend(out)
+    return outputs, responses
+
+
+def state_of(backend):
+    """Everything observable about a backend, comparison-ready."""
+    registry = StatsRegistry()
+    backend.register_stats(registry.scoped("memory"))
+    return (registry.flat(), backend.counters(),
+            backend.capture_registers())
+
+
+def assert_equivalent(scalar_backend, batch_backend, scalar_responses,
+                      batch_responses):
+    assert len(scalar_responses) == len(batch_responses)
+    for index, (a, b) in enumerate(zip(scalar_responses, batch_responses)):
+        assert repr(a) == repr(b), f"response {index} diverged"
+    assert state_of(scalar_backend) == state_of(batch_backend)
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    @pytest.mark.parametrize("window", (1, 64, 4096))
+    def test_window_batches_match_scalar(self, name, window):
+        capacity = _capacity(BACKENDS[name]())
+        columns = make_columns(capacity, 600, seed=hash(name) & 0xFFFF)
+        scalar = BACKENDS[name]()
+        batched = BACKENDS[name]()
+        scalar_responses = run_scalar(scalar, columns)
+        outputs, batch_responses = run_batched(batched, columns, window)
+        if name in NATIVE:
+            for out in outputs:
+                assert isinstance(out, ResponseWindow), \
+                    f"{name} silently fell back to the default loop"
+        assert_equivalent(scalar, batched, scalar_responses, batch_responses)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_request_list_matches_scalar(self, name):
+        """The list form (plain MemoryRequest sequence) is equivalent too."""
+        capacity = _capacity(BACKENDS[name]())
+        columns = make_columns(capacity, 200, seed=7)
+        is_write, addresses, times = columns
+        requests = [
+            MemoryRequest(MemoryOp.WRITE if w else MemoryOp.READ, a, time=t)
+            for w, a, t in zip(is_write, addresses, times)
+        ]
+        scalar = BACKENDS[name]()
+        batched = BACKENDS[name]()
+        scalar_responses = run_scalar(scalar, columns)
+        batch_responses = list(backend_access_batch(batched, requests))
+        assert_equivalent(scalar, batched, scalar_responses, batch_responses)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_property_random_streams(self, name, data):
+        """Hypothesis-shaped streams: mixes, reuse, ties and zero gaps."""
+        ops = data.draw(st.lists(
+            st.tuples(st.booleans(), st.integers(0, 255),
+                      st.sampled_from((0.0, 1.0, 33.0))),
+            min_size=1, max_size=120))
+        window = data.draw(st.sampled_from((1, 7, 64, 200)))
+        is_write, addresses, times = [], [], []
+        t = 0.0
+        for w, line, gap in ops:
+            is_write.append(w)
+            addresses.append(line * CACHELINE_BYTES)
+            times.append(t)
+            t += gap
+        columns = (is_write, addresses, times)
+        scalar = BACKENDS[name]()
+        batched = BACKENDS[name]()
+        scalar_responses = run_scalar(scalar, columns)
+        _, batch_responses = run_batched(batched, columns, window)
+        assert_equivalent(scalar, batched, scalar_responses, batch_responses)
+
+
+class TestInterposerEquivalence:
+    def _chain(self):
+        """tap -> throttle -> PSM, the shape machine platforms build."""
+        psm = PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10))
+        return LatencyTap(BandwidthThrottle(psm, bytes_per_ns=2.0),
+                          name="port")
+
+    def test_tap_throttle_chain_matches_scalar(self):
+        capacity = _capacity(PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10)))
+        columns = make_columns(capacity, 500, seed=21)
+        scalar = self._chain()
+        batched = self._chain()
+        scalar_responses = run_scalar(scalar, columns)
+        _, batch_responses = run_batched(batched, columns, 128)
+        assert_equivalent(scalar, batched, scalar_responses, batch_responses)
+
+    def test_partition_routes_batches_like_scalar(self):
+        half = 1 << 20
+
+        def build():
+            return AddressRangePartition([
+                AddressRange(0, half, DRAMSubsystem(
+                    DRAMConfig(capacity=half, ranks=4))),
+                AddressRange(half, 2 * half, PSM(
+                    PSMConfig(dimms=2, lines_per_dimm=1 << 13))),
+            ])
+
+        columns = make_columns(2 * half, 500, seed=33)
+        scalar = build()
+        batched = build()
+        scalar_responses = run_scalar(scalar, columns)
+        _, batch_responses = run_batched(batched, columns, 128)
+        assert_equivalent(scalar, batched, scalar_responses, batch_responses)
+
+    @pytest.mark.parametrize("crash_at", (0, 1, 7, 250, 499))
+    def test_fault_injection_split_matches_scalar(self, crash_at):
+        """A window containing the crash op serves exactly the scalar
+        prefix, then raises with that prefix in ``completed``."""
+
+        def build():
+            return FaultInjector(
+                PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10)),
+                crash_at_op=crash_at)
+
+        capacity = _capacity(PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10)))
+        columns = make_columns(capacity, 500, seed=55)
+        scalar = build()
+        batched = build()
+
+        scalar_responses = []
+        is_write, addresses, times = columns
+        with pytest.raises(InjectedPowerFailure):
+            for w, address, t in zip(is_write, addresses, times):
+                scalar_responses.append(scalar.access(MemoryRequest(
+                    MemoryOp.WRITE if w else MemoryOp.READ, address,
+                    time=t)))
+
+        # Windows before the crash return normally; the crashing window
+        # raises with its served prefix in ``completed``.  Scalar-served
+        # work is the concatenation of both.
+        batch_responses = []
+        with pytest.raises(InjectedPowerFailure) as excinfo:
+            for lo in range(0, len(addresses), 128):
+                hi = lo + 128
+                batch_responses.extend(backend_access_batch(
+                    batched, RequestWindow(
+                        is_write[lo:hi], addresses[lo:hi], times[lo:hi])))
+        batch_responses.extend(excinfo.value.completed)
+
+        assert len(scalar_responses) == crash_at
+        assert len(batch_responses) == crash_at
+        for a, b in zip(scalar_responses, batch_responses):
+            assert repr(a) == repr(b)
+        assert scalar.op_index == batched.op_index
+        assert scalar.tripped and batched.tripped
+        assert state_of(scalar.inner) == state_of(batched.inner)
+
+    def test_protocol_only_backend_gets_default_loop(self):
+        """A third-party backend implementing only scalar ``access`` is
+        served by the default loop through ``backend_access_batch``."""
+
+        class Minimal:
+            def __init__(self):
+                self.inner = DRAMSubsystem(
+                    DRAMConfig(capacity=1 << 20, ranks=4))
+
+            def access(self, request):
+                return self.inner.access(request)
+
+        columns = make_columns(1 << 20, 150, seed=77)
+        scalar = Minimal()
+        batched = Minimal()
+        scalar_responses = run_scalar(scalar, columns)
+        outputs, batch_responses = run_batched(batched, columns, 64)
+        for out in outputs:
+            assert isinstance(out, list)  # default loop, not a window
+        for a, b in zip(scalar_responses, batch_responses):
+            assert repr(a) == repr(b)
+        assert state_of(scalar.inner) == state_of(batched.inner)

@@ -61,6 +61,21 @@ class TestCommands:
         assert main(["fuzz", "pool", "--trials", "4"]) == 0
         assert "pmdk-pool" in capsys.readouterr().out
 
+    def test_profile(self, capsys):
+        assert main(["profile", "tab1", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "function calls" in out
+
+    def test_profile_dump(self, capsys, tmp_path):
+        out_file = tmp_path / "tab1.pstats"
+        assert main(["profile", "tab1", "--top", "3", "--sort", "tottime",
+                     "--out", str(out_file)]) == 0
+        assert out_file.exists()
+        import pstats
+
+        pstats.Stats(str(out_file))  # round-trips as a valid pstats dump
+
     def test_trace_export_and_stats(self, capsys, tmp_path):
         out = tmp_path / "aes.trace"
         assert main(["trace", "export", "--workload", "aes",

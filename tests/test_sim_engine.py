@@ -318,6 +318,50 @@ def test_process_exiting_mid_yield_releases_joiners_queue():
     assert sim.now == 50.0
 
 
+def test_cancel_drops_registered_callbacks():
+    """cancel() must clear the callback list immediately — a callback
+    registered before the cancel can never run, even if the event is
+    somehow fired afterwards."""
+    sim = Simulator()
+    log = []
+    event = Event(sim, "doomed")
+    event.add_callback(lambda _e: log.append("ran"))
+    event.cancel()
+    assert event._callbacks == []
+    event._fire()  # even a forced fire finds nothing to run
+    assert log == []
+
+
+def test_add_callback_after_cancel_raises():
+    """The cancel/add race resolves deterministically: late registration
+    is an error, not a silently-dropped (or forever-parked) callback."""
+    sim = Simulator()
+    event = sim.call_at(2.0, lambda: None)
+    event.cancel()
+    with pytest.raises(SimulationError):
+        event.add_callback(lambda _e: None)
+    sim.run()
+    assert not event.fired
+
+
+def test_cancelled_event_releases_callback_references():
+    """Cancelling must drop the closures it holds (they pin arbitrary
+    object graphs until the queue entry drains otherwise)."""
+    import weakref
+
+    class Payload:
+        pass
+
+    sim = Simulator()
+    payload = Payload()
+    ref = weakref.ref(payload)
+    event = sim.call_at(1_000_000.0, lambda p=payload: p)
+    del payload
+    assert ref() is not None  # the callback closure keeps it alive
+    event.cancel()
+    assert ref() is None
+
+
 def test_generator_close_during_yield_runs_cleanup():
     sim = Simulator()
     cleaned = []
