@@ -1,0 +1,320 @@
+"""Throughput baseline for the extent-coalesced persistence-cut flush path.
+
+Drains the same dirty-line population through each checkpoint consumer
+twice — once through the correct-by-construction scalar line loop
+(:func:`~repro.memory.extent.default_flush_extents`: one
+``MemoryRequest``, one dispatch, one ``MemoryResponse`` per line) and
+once through the backend's native ``flush_extents`` fast path — and
+reports lines/second for both at three memory footprints:
+
+* **sng_stop** — SnG Auto-Stop's final cache dump: per-core dirty sets
+  coalesced into extents and drained into the PSM, then the flush port
+  (memory synchronization).  The default busy configuration (8 cores x
+  16 KB D$, every line dirty) is the gated cell; it also runs one full
+  twin Stop/Go pair over a populated kernel — scalar-loop dump vs
+  extent dump — and asserts the ``StopReport``/``GoReport`` fields are
+  byte-identical (``tests/test_extent_equivalence.py`` holds the same
+  property per backend).
+* **scheckpc** — S-CheckPC's periodic VMA dump: a
+  :class:`~repro.memory.extent.DirtyExtentMap` delta-cut costed through
+  the port (``extent_dump_ns``) vs the same lines drained scalar.
+
+Both runs start from a fresh PSM and drain the identical line
+population, so the timing work is the same; the measured gap is pure
+dispatch-and-object overhead plus the per-line Feistel walks the extent
+path amortizes per randomize unit.  This is a plain script, not a
+pytest benchmark::
+
+    python benchmarks/bench_checkpoint.py --quick --min-speedup 3
+
+writes ``BENCH_checkpoint.json`` and exits non-zero if the default-busy
+SnG Stop speedup falls below the gate (the CI perf-smoke job runs
+exactly that).  Without ``--quick`` each measurement is the best of
+three fresh runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import platform as platform_mod
+import random
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.memory.extent import (
+        backend_flush_extents,
+        coalesce_lines,
+        default_flush_extents,
+    )
+except ModuleNotFoundError:  # pragma: no cover - PYTHONPATH already set
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.memory.extent import (
+        backend_flush_extents,
+        coalesce_lines,
+        default_flush_extents,
+    )
+
+from repro.memory.extent import DirtyExtentMap
+from repro.memory.request import CACHELINE_BYTES
+from repro.ocpmem.psm import PSM
+from repro.pecos.kernel import Kernel
+from repro.pecos.sng import SnG
+from repro.persistence.scheckpc import SCheckPC
+
+#: (label, total dirty bytes).  The default busy configuration is the
+#: first entry: 8 cores x 16 KB D$, every line dirty.  All fit the
+#: default PSM's ~6.3 MB logical capacity.
+_FOOTPRINTS = (
+    ("128KB", 128 << 10),
+    ("512KB", 512 << 10),
+    ("2MB", 2 << 20),
+)
+
+_CORES = 8
+_SEED = 0xC4EC
+
+
+def _dirty_lines(total_bytes: int, capacity: int, seed: int) -> list[int]:
+    """A cache-shaped dirty population: clustered runs plus scatter.
+
+    Roughly 3/4 of the lines land in short contiguous runs (spatial
+    locality the extent map coalesces) and 1/4 land alone — the shape a
+    real D$ dump produces.  Deterministic per seed.
+    """
+    rng = random.Random(seed)
+    lines = capacity // CACHELINE_BYTES
+    want = total_bytes // CACHELINE_BYTES
+    chosen: set[int] = set()
+    while len(chosen) < want:
+        base = rng.randrange(lines)
+        run = rng.choice((1, 8, 16, 32)) if rng.random() < 0.75 else 1
+        for i in range(run):
+            if len(chosen) >= want:
+                break
+            chosen.add((base + i) % lines)
+    return [line * CACHELINE_BYTES for line in sorted(chosen)]
+
+
+def _per_core_extents(addresses: list[int], cores: int) -> list[list]:
+    """Split the dirty population into per-core coalesced extent lists."""
+    per_core = len(addresses) // cores or 1
+    return [
+        coalesce_lines(addresses[i * per_core:(i + 1) * per_core])
+        for i in range(cores)
+        if addresses[i * per_core:(i + 1) * per_core]
+    ]
+
+
+def _drain_stop(psm: PSM, per_core, flush_fn) -> float:
+    """One Auto-Stop dump: every core's extents, then the flush port."""
+    done = 0.0
+    for extents in per_core:
+        report = flush_fn(psm, extents, 0.0)
+        if report.done_ns > done:
+            done = report.done_ns
+    flushed = psm.flush(done)
+    return flushed if flushed > done else done
+
+
+def _measure(run_fn, repeats: int) -> float:
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run_fn()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def measure_sng_stop(total_bytes: int, repeats: int) -> dict:
+    """Best-of-``repeats`` lines/sec for one Stop dump, loop vs extent."""
+    capacity = PSM().capacity
+    addresses = _dirty_lines(total_bytes, capacity, _SEED)
+    per_core = _per_core_extents(addresses, _CORES)
+    count = len(addresses)
+
+    scalar_s = _measure(
+        lambda: _drain_stop(PSM(), per_core, default_flush_extents), repeats
+    )
+    extent_s = _measure(
+        lambda: _drain_stop(PSM(), per_core, backend_flush_extents), repeats
+    )
+    # The two paths must land on the same synchronization horizon.
+    identical = (
+        _drain_stop(PSM(), per_core, default_flush_extents)
+        == _drain_stop(PSM(), per_core, backend_flush_extents)
+    )
+    return {
+        "lines": count,
+        "extents": sum(len(e) for e in per_core),
+        "line_loop_s": scalar_s,
+        "extent_s": extent_s,
+        "line_loop_lps": count / scalar_s,
+        "extent_lps": count / extent_s,
+        "speedup": scalar_s / extent_s,
+        "flush_horizon_identical": identical,
+    }
+
+
+def measure_scheckpc(total_bytes: int, repeats: int) -> dict:
+    """Best-of-``repeats`` for one S-CheckPC period dump, loop vs extent."""
+    capacity = PSM().capacity
+    addresses = _dirty_lines(total_bytes, capacity, _SEED ^ 0x5C)
+    count = len(addresses)
+    mechanism = SCheckPC()
+
+    def line_loop():
+        dirty = DirtyExtentMap()
+        dirty.note_lines(addresses)
+        psm = PSM()
+        extents = dirty.take()
+        report = default_flush_extents(psm, extents, 0.0)
+        return max(report.done_ns, psm.flush(0.0))
+
+    def extent_path():
+        dirty = DirtyExtentMap()
+        dirty.note_lines(addresses)
+        return mechanism.period_dump_port_ns(PSM(), dirty)
+
+    scalar_s = _measure(line_loop, repeats)
+    extent_s = _measure(extent_path, repeats)
+    identical = line_loop() == extent_path()
+    return {
+        "lines": count,
+        "line_loop_s": scalar_s,
+        "extent_s": extent_s,
+        "line_loop_lps": count / scalar_s,
+        "extent_lps": count / extent_s,
+        "speedup": scalar_s / extent_s,
+        "dump_ns_identical": identical,
+    }
+
+
+def twin_stop_go() -> dict:
+    """Full SnG Stop/Go twice — scalar-loop dump vs extent dump.
+
+    Two identical populated kernels; the only difference is how the
+    flush port drains the dirty population into its PSM.  Every
+    ``StopReport``/``GoReport`` field must match exactly.
+    """
+    capacity = PSM().capacity
+    addresses = _dirty_lines(128 << 10, capacity, _SEED)
+    per_core = _per_core_extents(addresses, _CORES)
+    dirty_counts = [sum(e.lines for e in extents) for extents in per_core]
+
+    reports = {}
+    for mode, flush_fn in (("line_loop", default_flush_extents),
+                           ("extent", backend_flush_extents)):
+        psm = PSM()
+
+        def flush_port(t, psm=psm, flush_fn=flush_fn):
+            done = t
+            for extents in per_core:
+                report = flush_fn(psm, extents, t)
+                if report.done_ns > done:
+                    done = report.done_ns
+            flushed = psm.flush(done)
+            return flushed if flushed > done else done
+
+        kernel = Kernel()
+        kernel.populate()
+        sng = SnG(kernel, flush_port=flush_port,
+                  dirty_lines_fn=lambda: list(dirty_counts))
+        stop = sng.stop()
+        go = sng.go()
+        assert sng.verify_resumed_state()
+        reports[mode] = (dataclasses.asdict(stop), dataclasses.asdict(go))
+
+    stop_identical = reports["line_loop"][0] == reports["extent"][0]
+    go_identical = reports["line_loop"][1] == reports["extent"][1]
+    return {
+        "stop_report_identical": stop_identical,
+        "go_report_identical": go_identical,
+        "stop_total_ms": reports["extent"][0]["process_stop_ns"] / 1e6
+        + reports["extent"][0]["device_stop_ns"] / 1e6
+        + reports["extent"][0]["offline_ns"] / 1e6,
+    }
+
+
+def run(repeats: int) -> dict:
+    sng_stop = {
+        label: measure_sng_stop(size, repeats) for label, size in _FOOTPRINTS
+    }
+    scheckpc = {
+        label: measure_scheckpc(size, repeats) for label, size in _FOOTPRINTS
+    }
+    return {
+        "workload": "persistence-cut",
+        "repeats": repeats,
+        "python": sys.version.split()[0],
+        "platform": platform_mod.platform(),
+        "machine": platform_mod.machine(),
+        "default_busy": {
+            "cores": _CORES,
+            "cache_bytes": 16 << 10,
+            "footprint": _FOOTPRINTS[0][0],
+        },
+        "scenarios": {
+            "sng_stop": sng_stop,
+            "scheckpc": scheckpc,
+            "twin_stop_go": twin_stop_go(),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="single repeat (CI smoke)")
+    parser.add_argument("--out", default="BENCH_checkpoint.json",
+                        help="result file (default BENCH_checkpoint.json)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit 1 if the default-busy SnG Stop speedup "
+                             "is below this")
+    args = parser.parse_args(argv)
+
+    repeats = 1 if args.quick else 3
+    results = run(repeats)
+
+    for scenario in ("sng_stop", "scheckpc"):
+        print(f"{scenario}:")
+        print(f"  {'footprint':<10} {'loop lines/s':>14} "
+              f"{'extent lines/s':>14} {'speedup':>8}")
+        for label, cell in results["scenarios"][scenario].items():
+            print(f"  {label:<10} {cell['line_loop_lps']:>14,.0f} "
+                  f"{cell['extent_lps']:>14,.0f} {cell['speedup']:>7.2f}x")
+    twin = results["scenarios"]["twin_stop_go"]
+    print(f"twin stop/go: stop identical={twin['stop_report_identical']} "
+          f"go identical={twin['go_report_identical']} "
+          f"stop={twin['stop_total_ms']:.2f} ms")
+
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    default_cell = results["scenarios"]["sng_stop"][_FOOTPRINTS[0][0]]
+    failures = []
+    if not twin["stop_report_identical"] or not twin["go_report_identical"]:
+        failures.append("StopReport/GoReport differ between flush paths")
+    if not all(
+        c["flush_horizon_identical"]
+        for c in results["scenarios"]["sng_stop"].values()
+    ):
+        failures.append("flush horizons differ between flush paths")
+    if (args.min_speedup is not None
+            and default_cell["speedup"] < args.min_speedup):
+        failures.append(
+            f"default-busy SnG Stop speedup {default_cell['speedup']:.2f}x "
+            f"below gate {args.min_speedup:.2f}x"
+        )
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

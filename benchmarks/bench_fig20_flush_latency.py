@@ -5,8 +5,8 @@ from conftest import MATRIX_REFS, run_once
 from repro.analysis import figure20
 
 
-def test_fig20_flush_latency(benchmark, record_result):
-    result = run_once(benchmark, figure20, refs=MATRIX_REFS)
+def test_fig20_flush_latency(benchmark, record_result, matrix_opts):
+    result = run_once(benchmark, figure20, refs=MATRIX_REFS, **matrix_opts)
     record_result(result)
     assert result.notes["syspc_vs_atx"] > 25.0
     assert result.notes["lightpc_vs_atx"] < 0.8

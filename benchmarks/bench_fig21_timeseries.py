@@ -5,8 +5,8 @@ from conftest import MATRIX_REFS, run_once
 from repro.analysis import figure21
 
 
-def test_fig21_timeseries(benchmark, record_result):
-    result = run_once(benchmark, figure21, refs=MATRIX_REFS)
+def test_fig21_timeseries(benchmark, record_result, matrix_opts):
+    result = run_once(benchmark, figure21, refs=MATRIX_REFS, **matrix_opts)
     record_result(result)
     # SysPC's recovery is orders of magnitude slower than LightPC's Go.
     assert result.notes["syspc_go_vs_lightpc_go"] > 30.0

@@ -5,8 +5,8 @@ from conftest import run_once
 from repro.analysis import bar_chart, figure22
 
 
-def test_fig22_scalability(benchmark, record_result):
-    result = run_once(benchmark, figure22)
+def test_fig22_scalability(benchmark, record_result, matrix_opts):
+    result = run_once(benchmark, figure22, **matrix_opts)
     record_result(result)
     at_16kb = [(row[0], row[2]) for row in result.rows if row[1] == 16]
     print()

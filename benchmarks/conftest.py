@@ -35,11 +35,26 @@ MATRIX_REFS = 16_000
 CAMPAIGN_JOBS = max(1, int(os.environ.get("REPRO_JOBS", "1")))
 CAMPAIGN_CACHE_DIR = os.environ.get("REPRO_CACHE_DIR") or None
 
+#: Campaign master seed (REPRO_SEED) — results are deterministic per
+#: seed; change it to sample a different (still reproducible) universe.
+CAMPAIGN_SEED = int(os.environ.get("REPRO_SEED", "42"))
+
 
 @pytest.fixture(scope="session")
 def campaign_opts() -> dict:
     """``jobs``/``cache_dir`` kwargs for drivers that run campaigns."""
     return {"jobs": CAMPAIGN_JOBS, "cache_dir": CAMPAIGN_CACHE_DIR}
+
+
+@pytest.fixture(scope="session")
+def matrix_opts() -> dict:
+    """``jobs``/``seed``/``cache_dir`` kwargs for the figure drivers
+    that fan out over the platform matrix or a parameter grid."""
+    return {
+        "jobs": CAMPAIGN_JOBS,
+        "seed": CAMPAIGN_SEED,
+        "cache_dir": CAMPAIGN_CACHE_DIR,
+    }
 
 
 @pytest.fixture(scope="session")

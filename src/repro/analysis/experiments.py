@@ -123,11 +123,12 @@ def _matrix_trial(
 
 @lru_cache(maxsize=8)
 def _matrix_cached(
-    names: tuple[str, ...], refs: int, seed: int, jobs: int = 1
+    names: tuple[str, ...], refs: int, seed: int, jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> dict[tuple[str, str], RunResult]:
     from repro.orchestrate import Campaign, CampaignRunner
 
-    runner = CampaignRunner(jobs=jobs)
+    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir)
     cells = runner.run(Campaign(
         name="platform_matrix",
         trials=len(names) * len(_MATRIX_PLATFORMS),
@@ -143,16 +144,19 @@ def platform_matrix(
     refs: int = 24_000,
     seed: int = 42,
     jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> dict[tuple[str, str], RunResult]:
     """Run every workload on all three platforms (cached per argument set).
 
     ``jobs > 1`` fans the (workload, platform) cells across processes
     via :class:`repro.orchestrate.CampaignRunner`; each cell is a
     deterministic trial, so results match the serial run exactly at any
-    parallelism.
+    parallelism.  ``cache_dir`` enables the runner's on-disk shard cache,
+    so repeated sweeps over the same argument set reload instead of
+    re-simulating.
     """
     names = tuple(workloads) if workloads is not None else tuple(WORKLOAD_SPECS)
-    return _matrix_cached(names, refs, seed, jobs)
+    return _matrix_cached(names, refs, seed, jobs, cache_dir)
 
 
 def stats_tree(
@@ -796,8 +800,12 @@ def figure19(
 def figure20(
     workload: str = "redis",
     refs: int = 24_000,
+    seed: int = 42,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
-    results = platform_matrix((workload,), refs)
+    results = platform_matrix((workload,), refs, seed=seed, jobs=jobs,
+                              cache_dir=cache_dir)
     profiles = _profiles(results, refs)[workload]
     sng = _sng_mechanism()
     flushes = {
@@ -839,6 +847,9 @@ def figure21(
     workload: str = "redis",
     refs: int = 24_000,
     windows: int = 12,
+    seed: int = 42,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Phase timeline around one power cycle: IPC and watts per phase.
 
@@ -846,7 +857,8 @@ def figure21(
     mechanism's timeline is reconstructed phase by phase (execute ->
     flush -> off -> recover -> execute) from the measured models.
     """
-    results = platform_matrix((workload,), refs)
+    results = platform_matrix((workload,), refs, seed=seed, jobs=jobs,
+                              cache_dir=cache_dir)
     profiles = _profiles(results, refs)[workload]
     clock = ClockDomain()
     sng = _sng_mechanism()
@@ -914,31 +926,63 @@ def figure21(
 # ---------------------------------------------------------------------------
 
 
+def _fig22_trial(
+    trial: int, rng,
+    core_counts: tuple[int, ...] = (),
+    cache_sizes: tuple[int, ...] = (),
+    drivers: int = 730,
+) -> list:
+    """One (cores, cache size) cell of the Fig. 22 grid (deterministic)."""
+    cores = core_counts[trial // len(cache_sizes)]
+    cache_bytes = cache_sizes[trial % len(cache_sizes)]
+    per_core_lines = cache_bytes // 64 // cores
+    kernel = Kernel(KernelConfig(cores=cores, extra_drivers=drivers - 10))
+    kernel.populate()
+    sng = SnG(
+        kernel,
+        flush_port=lambda t: t + 2_000.0,
+        dirty_lines_fn=lambda n=per_core_lines, c=cores: [n] * c,
+    )
+    report = sng.stop()
+    return [
+        cores, cache_bytes // 1024,
+        round(report.total_ms, 2),
+        report.total_ms <= ATX_PSU.spec_holdup_ms,
+        report.total_ms <= SERVER_PSU.spec_holdup_ms,
+    ]
+
+
 def figure22(
     core_counts: Sequence[int] = (8, 16, 32, 48, 64),
     cache_sizes: Sequence[int] = (16 << 10, 256 << 10, 1 << 20, 40 << 20),
     drivers: int = 730,
+    seed: int = 42,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
 ) -> ExperimentResult:
-    """Worst case: 730 dpm drivers, every cacheline dirty."""
-    rows = []
+    """Worst case: 730 dpm drivers, every cacheline dirty.
+
+    Each (cores, cache size) cell is an independent deterministic trial
+    on :class:`repro.orchestrate.CampaignRunner`, so ``jobs > 1`` fans
+    the grid across processes with results identical to the serial run.
+    """
+    from repro.orchestrate import Campaign, CampaignRunner
+
+    grid_cores = tuple(core_counts)
+    grid_caches = tuple(cache_sizes)
+    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir)
+    rows = runner.run(Campaign(
+        name="fig22_scalability",
+        trials=len(grid_cores) * len(grid_caches),
+        trial_fn=_fig22_trial,
+        seed=seed,
+        params={
+            "core_counts": grid_cores,
+            "cache_sizes": grid_caches,
+            "drivers": drivers,
+        },
+    ))
     notes = {}
-    for cores in core_counts:
-        for cache_bytes in cache_sizes:
-            per_core_lines = cache_bytes // 64 // cores
-            kernel = Kernel(KernelConfig(cores=cores, extra_drivers=drivers - 10))
-            kernel.populate()
-            sng = SnG(
-                kernel,
-                flush_port=lambda t: t + 2_000.0,
-                dirty_lines_fn=lambda n=per_core_lines, c=cores: [n] * c,
-            )
-            report = sng.stop()
-            rows.append([
-                cores, cache_bytes // 1024,
-                round(report.total_ms, 2),
-                report.total_ms <= ATX_PSU.spec_holdup_ms,
-                report.total_ms <= SERVER_PSU.spec_holdup_ms,
-            ])
     by = {(r[0], r[1]): r for r in rows}
     for note, key, column in (
         ("cores32_16kb_fits_atx", (32, 16), 3),

@@ -22,6 +22,11 @@ from typing import Optional
 
 from repro.cpu.cache import Cache, CacheConfig
 from repro.memory.batch import RequestWindow, backend_access_batch
+from repro.memory.extent import (
+    FlushReport,
+    backend_flush_extents,
+    coalesce_lines,
+)
 from repro.memory.port import MemoryBackend
 from repro.memory.request import MemoryOp, RequestPool
 from repro.pmem.modes import SoftwareOverhead
@@ -103,6 +108,8 @@ class Core:
         self.now = 0.0
         self._flush_debt = 0.0
         self._pool = RequestPool()
+        #: the last cache dump's :class:`FlushReport` (None before any)
+        self.last_flush_report: Optional[FlushReport] = None
 
     def execute(self, instructions: int, address: int, is_write: bool,
                 thread_id: int = 0) -> float:
@@ -343,13 +350,11 @@ class Core:
         """Dump the D$: write back all dirty lines; returns (count, addrs)."""
         dirty = self.cache.flush_dirty()
         if dirty:
-            # All write-backs issue at the same clock, which is exactly
-            # the window shape the batched backend path wants.
-            backend_access_batch(
-                self.backend,
-                RequestWindow(
-                    [True] * len(dirty), dirty, [self.now] * len(dirty)
-                ),
+            # All write-backs issue at the same clock and coalesce into
+            # sorted extents — the homogeneous shape the backend's
+            # closed-form flush path drains analytically.
+            self.last_flush_report = backend_flush_extents(
+                self.backend, coalesce_lines(dirty), self.now
             )
         return len(dirty), dirty
 

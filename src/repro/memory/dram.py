@@ -24,6 +24,12 @@ from repro.memory.batch import (
     default_access_batch,
 )
 from repro.memory.device import DRAMDevice, DRAMTiming
+from repro.memory.extent import (
+    Extent,
+    FlushReport,
+    batched_flush_extents,
+    default_flush_extents,
+)
 from repro.memory.port import PortNotSupportedError, PowerPart
 from repro.memory.request import (
     AddressSpaceError,
@@ -265,6 +271,18 @@ class DRAMSubsystem:
         if error is not None:
             raise error
         return ResponseWindow(window, complete_col, occupied_col, blocked_col)
+
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        """Drain dirty extents through the batched write path.
+
+        One columnar window over all lines, one bulk stats record.  The
+        functional-contents guard mirrors :meth:`access_batch`: windows
+        carry no data payloads, so backing stores fall back to the
+        scalar loop.
+        """
+        if any(r.storage._bytes for r in self.ranks):
+            return default_flush_extents(self, extents, time)
+        return batched_flush_extents(self, extents, time)
 
     def drain(self, time: float) -> float:
         """Time when all ranks are quiescent (memory-fence semantics)."""

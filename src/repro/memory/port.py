@@ -48,6 +48,14 @@ from repro.memory.batch import (
     backend_access_batch,
     default_access_batch,
 )
+from repro.memory.extent import (
+    Extent,
+    FlushReport,
+    backend_flush_extents,
+    default_flush_extents,
+    report_from_responses,
+    window_from_extents,
+)
 from repro.memory.request import (
     AddressSpaceError,
     MemoryOp,
@@ -141,6 +149,21 @@ class MemoryBackend(Protocol):
         """
         ...
 
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        """Write back coalesced dirty extents; see :mod:`repro.memory.extent`.
+
+        Must be observationally identical to the scalar per-line loop of
+        :func:`repro.memory.extent.default_flush_extents` (same
+        responses, stats, wear registers and device state).  Write-back
+        only: the :meth:`flush`/:meth:`drain` lifecycle ports stay
+        separate calls.  Callers dispatch through
+        :func:`repro.memory.extent.backend_flush_extents`, which supplies
+        the default loop for backends that do not implement this method
+        — like ``access_batch``, it is deliberately NOT part of the
+        ``assert_memory_backend`` surface.
+        """
+        ...
+
     def flush(self, time: float) -> float:
         """Close buffers and drain in-flight work; returns the done time."""
         ...
@@ -177,9 +200,10 @@ class MemoryBackend(Protocol):
 
 
 #: Attribute names checked by :func:`assert_memory_backend`.  Note that
-#: ``access_batch`` is intentionally absent: a backend implementing only
-#: the scalar surface still conforms, and batching callers fall back to
-#: the default per-request loop via ``backend_access_batch``.
+#: ``access_batch`` and ``flush_extents`` are intentionally absent: a
+#: backend implementing only the scalar surface still conforms, and
+#: batching/flushing callers fall back to the default per-request loops
+#: via ``backend_access_batch`` / ``backend_flush_extents``.
 _PROTOCOL_SURFACE = (
     "is_volatile",
     "capacity",
@@ -250,6 +274,13 @@ class Interposer:
             # than silently bypassing it.
             return default_access_batch(self, requests)
         return backend_access_batch(self.inner, requests)
+
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        if type(self).access is not Interposer.access:
+            # Same override-detection contract as access_batch: a scalar
+            # customization must see every line.
+            return default_flush_extents(self, extents, time)
+        return backend_flush_extents(self.inner, extents, time)
 
     def flush(self, time: float) -> float:
         return self.inner.flush(time)
@@ -342,6 +373,24 @@ class LatencyTap(Interposer):
             raise
         self._record_batch(responses)
         return responses
+
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        try:
+            report = backend_flush_extents(self.inner, extents, time)
+        except InjectedPowerFailure as failure:
+            self._record_batch(failure.completed)
+            raise
+        self._record_batch(report.responses)
+        return report
+
+    def power_cycle(self) -> None:
+        # The tap's distributions are controller-side SRAM counters: the
+        # rails dropping zeroes them along with the backend's volatile
+        # state.  Reset in place so StatsRegistry nodes that captured a
+        # reference keep resolving (no stale dotted paths).
+        self.read_latency.reset()
+        self.write_latency.reset()
+        self.inner.power_cycle()
 
     def register_stats(self, stats: StatsRegistry) -> None:
         scope = stats.scoped(f"taps.{self.name}")
@@ -484,6 +533,25 @@ class BandwidthThrottle(Interposer):
             self._rewrap(window, index, delays[index], response)
             for index, response in enumerate(responses)
         ]
+
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        # Shaping makes per-line issue times non-uniform, so there is no
+        # homogeneous extent to forward: lower the extents onto the
+        # throttle's own batched path, which precomputes the shaping
+        # recurrence and already matches the scalar loop exactly.
+        window = window_from_extents(extents, time)
+        if window is None:
+            return default_flush_extents(self, extents, time)
+        return report_from_responses(
+            len(extents), time, self.access_batch(window)
+        )
+
+    def power_cycle(self) -> None:
+        # The link is idle after the rails drop; the shaping ledger is
+        # volatile controller state and restarts from zero.
+        self._free_at = 0.0
+        self.throttled_ns = 0.0
+        self.inner.power_cycle()
 
     def register_stats(self, stats: StatsRegistry) -> None:
         stats.register("throttle.throttled_ns", lambda: self.throttled_ns)
@@ -656,6 +724,128 @@ class AddressRangePartition:
                               out)
         return out
 
+    def _forward_extent_run(
+        self,
+        region: AddressRange,
+        run: list[Extent],
+        time: float,
+        out: list[MemoryResponse],
+    ) -> None:
+        """Flush one same-region run of sub-extents through its backend.
+
+        Rebased regions see rebased extents; the responses are rewrapped
+        back to absolute addresses (matching the scalar path's response
+        identity) both on success and inside a crash's served prefix.
+        """
+        if region.rebase:
+            offset = region.start
+            lowered = [
+                Extent(extent.start - offset, extent.lines, extent.size)
+                for extent in run
+            ]
+        else:
+            lowered = run
+        try:
+            report = backend_flush_extents(region.backend, lowered, time)
+        except InjectedPowerFailure as failure:
+            if region.rebase:
+                rewrapped = [
+                    self._rewrap_absolute(address, size, time, response)
+                    for (address, size), response in zip(
+                        _extent_lines(run), failure.completed
+                    )
+                ]
+            else:
+                rewrapped = list(failure.completed)
+            failure.completed = out + rewrapped
+            raise
+        if region.rebase:
+            for (address, size), response in zip(
+                _extent_lines(run), report.responses
+            ):
+                out.append(
+                    self._rewrap_absolute(address, size, time, response)
+                )
+        else:
+            out.extend(report.responses)
+
+    @staticmethod
+    def _rewrap_absolute(
+        address: int, size: int, time: float, response: MemoryResponse
+    ) -> MemoryResponse:
+        request = MemoryRequest.__new__(MemoryRequest)
+        request.op = MemoryOp.WRITE
+        request.address = address
+        request.size = size
+        request.time = time
+        request.data = None
+        request.thread_id = 0
+        request.metadata = None
+        return MemoryResponse(
+            request,
+            complete_time=response.complete_time,
+            occupied_until=response.occupied_until,
+            data=response.data,
+            reconstructed=response.reconstructed,
+            blocked_ns=response.blocked_ns,
+            error_contained=response.error_contained,
+        )
+
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        """Extent flush, subdivided only at region boundaries.
+
+        Each extent is split into the maximal sub-extents that fit one
+        region; consecutive same-region sub-extents are forwarded as one
+        run through the region backend's own ``flush_extents``, so native
+        fast paths stay engaged under the partition.  Error ordering
+        matches the scalar loop: an out-of-region or boundary-crossing
+        line first flushes the pending run, then raises.
+        """
+        out: list[MemoryResponse] = []
+        run: list[Extent] = []
+        run_region: Optional[AddressRange] = None
+        for extent in extents:
+            size = extent.size
+            address = extent.start
+            remaining = extent.lines
+            while remaining:
+                found: Optional[AddressRange] = None
+                for region in self.regions:
+                    if region.start <= address < region.end:
+                        found = region
+                        break
+                error: Optional[AddressSpaceError] = None
+                fit = 0
+                if found is None:
+                    error = AddressSpaceError(
+                        f"address {address:#x} outside every partition region"
+                    )
+                else:
+                    fit = (found.end - address) // size
+                    if fit == 0:
+                        error = AddressSpaceError(
+                            f"request [{address:#x}, {address + size:#x}) "
+                            f"crosses the region boundary at {found.end:#x}"
+                        )
+                if error is not None:
+                    if run_region is not None:
+                        self._forward_extent_run(run_region, run, time, out)
+                    raise error
+                count = remaining if remaining <= fit else fit
+                sub = Extent(address, count, size)
+                if found is run_region:
+                    run.append(sub)
+                else:
+                    if run_region is not None:
+                        self._forward_extent_run(run_region, run, time, out)
+                    run_region = found
+                    run = [sub]
+                address += count * size
+                remaining -= count
+        if run_region is not None:
+            self._forward_extent_run(run_region, run, time, out)
+        return report_from_responses(len(extents), time, out)
+
     # -- protocol surface ---------------------------------------------------
 
     @property
@@ -718,6 +908,30 @@ class AddressRangePartition:
         for region in self.regions:
             parts.extend(region.backend.power_parts(region.backend.counters()))
         return parts
+
+
+def _extent_lines(extents: list[Extent]):
+    """Yield ``(address, size)`` per line across extents, in order."""
+    for extent in extents:
+        size = extent.size
+        for address in extent.addresses():
+            yield (address, size)
+
+
+def _take_lines(extents: list[Extent], count: int) -> list[Extent]:
+    """The first ``count`` lines of an extent list, truncating the last."""
+    out: list[Extent] = []
+    remaining = count
+    for extent in extents:
+        if remaining <= 0:
+            break
+        if extent.lines <= remaining:
+            out.append(extent)
+            remaining -= extent.lines
+        else:
+            out.append(Extent(extent.start, remaining, extent.size))
+            remaining = 0
+    return out
 
 
 class FaultInjector(Interposer):
@@ -792,6 +1006,48 @@ class FaultInjector(Interposer):
             except InjectedPowerFailure as failure:
                 # A deeper injector crashed first.  The scalar path would
                 # have ticked once per attempted element, crashing one
+                # included — rewind the eager advance to match.
+                self.op_index = start + len(failure.completed) + 1
+                raise
+        self.tripped = True
+        raise InjectedPowerFailure(
+            f"injected power failure at operation {self.op_index}",
+            completed,
+        )
+
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        """Extent flush, split only at the scheduled crash index.
+
+        Mirrors :meth:`access_batch`: an extent list that does not
+        contain the crash op forwards whole; otherwise the pre-crash
+        line prefix (truncating the crash extent mid-run) is served and
+        :class:`InjectedPowerFailure` carries its responses in
+        ``completed`` — exactly the prefix the scalar loop would have
+        produced.
+        """
+        if self.corrupt_data_fn is not None:
+            # Corruption inspects per-request payloads: scalar loop.
+            return default_flush_extents(self, extents, time)
+        n = 0
+        for extent in extents:
+            n += extent.lines
+        crash = self.crash_at_op
+        start = self.op_index
+        if crash is None or self.tripped or not start <= crash < start + n:
+            self.op_index = start + n
+            return backend_flush_extents(self.inner, extents, time)
+        k = crash - start
+        self.op_index = crash
+        completed: list[MemoryResponse] = []
+        if k:
+            prefix = _take_lines(extents, k)
+            try:
+                completed = list(
+                    backend_flush_extents(self.inner, prefix, time).responses
+                )
+            except InjectedPowerFailure as failure:
+                # A deeper injector crashed first.  The scalar path would
+                # have ticked once per attempted line, crashing one
                 # included — rewind the eager advance to match.
                 self.op_index = start + len(failure.completed) + 1
                 raise

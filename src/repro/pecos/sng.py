@@ -185,6 +185,11 @@ class SnG:
         #: pickled PCB snapshot taken at the EP-cut, used by the
         #: consistency checks to prove Go resumed identical state
         self._pcb_snapshot: Optional[bytes] = None
+        #: pid -> (state key, canonical entry pickle); unchanged tasks
+        #: reuse their previous serialization at the next cut
+        self._pcb_cache: dict[int, tuple[tuple, bytes]] = {}
+        self.pcb_entries_serialized = 0
+        self.pcb_entries_reused = 0
 
     # ------------------------------------------------------------------
     # Stop
@@ -307,11 +312,35 @@ class SnG:
         task.lockdown()
 
     def _snapshot_pcbs(self) -> bytes:
-        state = [
-            (task.pid, task.name, task.registers, task.dirty_vma_bytes())
-            for task in self.kernel.all_tasks()
-        ]
-        return pickle.dumps(state)
+        """Incremental per-task PCB digest.
+
+        Each task serializes to a standalone canonical pickle of
+        ``(pid, name, registers, dirty_vma_bytes)``; the snapshot is the
+        concatenation in traversal order.  A per-pid cache keyed on the
+        tuple's value skips re-serializing tasks whose state is unchanged
+        since the previous cut — re-parked tasks save
+        ``registers.advanced(0)``, which compares *equal*, so steady-state
+        cuts re-pickle only tasks that actually progressed.  Equal values
+        pickle to equal bytes, which is why Go's byte-match audit
+        (:meth:`verify_resumed_state`) still holds under reuse.
+        """
+        cache = self._pcb_cache
+        fresh: dict[int, tuple[tuple, bytes]] = {}
+        entries: list[bytes] = []
+        for task in self.kernel.all_tasks():
+            pid = task.pid
+            key = (task.name, task.registers, task.dirty_vma_bytes())
+            cached = cache.get(pid)
+            if cached is not None and cached[0] == key:
+                blob = cached[1]
+                self.pcb_entries_reused += 1
+            else:
+                blob = pickle.dumps((pid,) + key)
+                self.pcb_entries_serialized += 1
+            fresh[pid] = (key, blob)
+            entries.append(blob)
+        self._pcb_cache = fresh  # dead pids fall out of the cache
+        return b"".join(entries)
 
     def _wear_blob(self) -> bytes:
         if self.capture_hw_state is not None:

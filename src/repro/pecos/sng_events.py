@@ -16,7 +16,7 @@ work the protocol does in parallel) whenever the timing model changes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.pecos.kernel import Kernel
 from repro.pecos.scheduler import balance_assign
@@ -52,12 +52,17 @@ def run_event_driven_stop(
     timing: Optional[SnGTiming] = None,
     flush_ns: float = 2_000.0,
     master: int = 0,
+    flush_port: Optional[Callable[[float], float]] = None,
 ) -> EventStopReport:
     """Execute Stop as simulator processes; returns measured phase times.
 
     The kernel world is treated read-only (task states are not mutated) —
     this is a timing validator, not a second implementation of the state
-    machine.
+    machine.  ``flush_port`` (``time_ns -> done_ns``, the same surface
+    :class:`repro.pecos.sng.SnG` drives — e.g. a real backend's extent
+    drain followed by its flush port) supersedes the flat ``flush_ns``
+    charge when given, so the validator can ride the same memory model as
+    the closed form.
     """
     t = timing or SnGTiming()
     cores = kernel.config.cores
@@ -138,7 +143,10 @@ def run_event_driven_stop(
             yield dump
         yield sim.timeout(kernel.bootloader.BCB_STORE_NS)
         yield sim.timeout(kernel.bootloader.COMMIT_STORE_NS)
-        yield sim.timeout(flush_ns)  # PSM flush port
+        if flush_port is not None:  # PSM flush port, real memory model
+            yield sim.timeout(max(0.0, flush_port(sim.now) - sim.now))
+        else:
+            yield sim.timeout(flush_ns)  # PSM flush port, flat charge
         yield sim.timeout(t.core_offline_ns)  # the master goes last
 
     phase3 = sim.process(offline(), name="offline")

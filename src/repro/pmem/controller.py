@@ -26,6 +26,12 @@ from repro.memory.batch import (
     default_access_batch,
 )
 from repro.memory.dram import DRAMSubsystem
+from repro.memory.extent import (
+    Extent,
+    FlushReport,
+    batched_flush_extents,
+    default_flush_extents,
+)
 from repro.memory.port import PortNotSupportedError, PowerPart
 from repro.memory.request import (
     AddressSpaceError,
@@ -207,6 +213,15 @@ class PMEMController:
             overrides=overrides if overrides else None,
         )
 
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        """Drain dirty extents through the batched scatter/gather path.
+
+        One uniform write window scattered across the DIMMs, one bulk
+        stats record per DIMM — :meth:`access_batch` already handles the
+        homogeneous shape, including exact error ordering.
+        """
+        return batched_flush_extents(self, extents, time)
+
     def drain(self, time: float) -> float:
         done = time
         for dimm in self.dimms:
@@ -351,6 +366,12 @@ class NMEMController:
         through the tag store, so there is no columnar shortcut — the
         default loop is the whole implementation."""
         return default_access_batch(self, requests)
+
+    def flush_extents(self, extents: list[Extent], time: float) -> FlushReport:
+        """Memory mode keeps the scalar path here too: each line's cost
+        depends on its tag-store hit/miss, so the correct-by-construction
+        loop is the whole implementation."""
+        return default_flush_extents(self, extents, time)
 
     def drain(self, time: float) -> float:
         return max(self.dram.drain(time), self.pmem.drain(time))

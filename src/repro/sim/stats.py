@@ -78,6 +78,24 @@ class LatencyStats:
         for value in values:
             self.record(value)
 
+    def reset(self) -> None:
+        """Zero the population in place.
+
+        Interposers reset their distributions on ``power_cycle`` through
+        this, so :class:`StatsRegistry` nodes that captured a reference
+        keep reporting the (now empty) same object instead of a stale
+        snapshot.
+        """
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._reservoir.clear()
+        self._cursor = 0
+        self._stride = 1
+        self._skip = 0
+
     def record_many(self, values: Sequence[float]) -> None:
         """Bulk :meth:`record`: one call per batch instead of per value.
 

@@ -1,0 +1,514 @@
+"""Extent-flush/scalar equivalence for every backend and interposer.
+
+``flush_extents`` is a pure performance port: for any extent list it
+must be observationally identical to the scalar line loop
+(:func:`~repro.memory.extent.default_flush_extents`) — same report, same
+per-line responses, same stats tree, wear registers, counters and device
+state.  These tests drive the same dirty populations through two fresh
+instances of each backend, one per path, and diff everything observable.
+
+Also covered here: the interposer chain and partition routing, the
+FaultInjector's exact mid-extent crash split (the served prefix must
+match the scalar loop line for line), flush/drain stats restarting from
+zero after ``power_cycle`` under a full chain, SnG Stop/Go report
+identity across the two flush paths, and the incremental PCB snapshot's
+reuse accounting.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.batch import ResponseWindow
+from repro.memory.dram import DRAMConfig, DRAMSubsystem
+from repro.memory.extent import (
+    DirtyExtentMap,
+    Extent,
+    backend_flush_extents,
+    coalesce_lines,
+    default_flush_extents,
+)
+from repro.memory.port import (
+    AddressRange,
+    AddressRangePartition,
+    BandwidthThrottle,
+    FaultInjector,
+    InjectedPowerFailure,
+    LatencyTap,
+)
+from repro.memory.request import (
+    AddressSpaceError,
+    CACHELINE_BYTES,
+    MemoryOp,
+    MemoryRequest,
+)
+from repro.ocpmem.psm import PSM, PSMConfig
+from repro.pecos.kernel import Kernel
+from repro.pecos.sng import SnG
+from repro.persistence.acheckpc import ACheckPC
+from repro.persistence.scheckpc import SCheckPC
+from repro.pmem.controller import NMEMController, PMEMController
+from repro.pmem.dimm import PMEMDIMM
+from repro.sim.stats import StatsRegistry
+
+
+def _pmem():
+    return PMEMController(
+        [PMEMDIMM(capacity=1 << 22), PMEMDIMM(capacity=1 << 22)]
+    )
+
+
+BACKENDS = {
+    "dram": lambda: DRAMSubsystem(DRAMConfig(capacity=1 << 22, ranks=4)),
+    "psm": lambda: PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10)),
+    "pmem": _pmem,
+    "nmem": lambda: NMEMController(
+        DRAMSubsystem(DRAMConfig(capacity=1 << 20, ranks=4)), _pmem()
+    ),
+}
+
+#: Tiers whose ``flush_extents`` is a native columnar path (must return
+#: ResponseWindow-backed reports, not fall back to the default loop).
+NATIVE = ("dram", "psm", "pmem")
+
+
+def _capacity(backend) -> int:
+    cap = getattr(backend, "capacity", None)
+    if cap is None:
+        cap = backend.config.capacity
+    return cap if isinstance(cap, int) else backend.config.capacity
+
+
+def make_extents(capacity: int, count: int, seed: int) -> list[Extent]:
+    """A cache-shaped dirty population: clustered runs plus scatter."""
+    rng = random.Random(seed)
+    lines = capacity // CACHELINE_BYTES
+    chosen: set[int] = set()
+    while len(chosen) < count:
+        base = rng.randrange(lines)
+        run = rng.choice((1, 4, 16, 48)) if rng.random() < 0.75 else 1
+        for i in range(run):
+            if len(chosen) >= count:
+                break
+            chosen.add((base + i) % lines)
+    return coalesce_lines(line * CACHELINE_BYTES for line in chosen)
+
+
+def state_of(backend):
+    """Everything observable about a backend, comparison-ready."""
+    registry = StatsRegistry()
+    backend.register_stats(registry.scoped("memory"))
+    return (registry.flat(), backend.counters(),
+            backend.capture_registers())
+
+
+def assert_equivalent(scalar_backend, extent_backend, scalar_report,
+                      extent_report):
+    assert scalar_report.lines == extent_report.lines
+    assert scalar_report.extents == extent_report.extents
+    assert scalar_report.start_ns == extent_report.start_ns
+    assert scalar_report.done_ns == extent_report.done_ns
+    assert scalar_report.blocked_ns == extent_report.blocked_ns
+    assert scalar_report.latencies() == extent_report.latencies()
+    for index in range(len(scalar_report.responses)):
+        a = scalar_report.responses[index]
+        b = extent_report.responses[index]
+        assert repr(a) == repr(b), f"response {index} diverged"
+    assert state_of(scalar_backend) == state_of(extent_backend)
+
+
+def warm_up(backend, capacity: int, seed: int, count: int = 200) -> None:
+    """Run a mixed scalar stream so the flush starts from a dirty,
+    mid-generation device state (open row buffers, moved gaps)."""
+    rng = random.Random(seed)
+    lines = capacity // CACHELINE_BYTES
+    t = 0.0
+    for _ in range(count):
+        op = MemoryOp.WRITE if rng.random() < 0.5 else MemoryOp.READ
+        backend.access(MemoryRequest(
+            op, rng.randrange(lines) * CACHELINE_BYTES, time=t))
+        t += rng.choice((0.0, 1.0, 25.0))
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    @pytest.mark.parametrize("count", (1, 64, 700))
+    def test_flush_matches_scalar_loop(self, name, count):
+        capacity = _capacity(BACKENDS[name]())
+        extents = make_extents(capacity, count, seed=hash(name) & 0xFFFF)
+        scalar = BACKENDS[name]()
+        native = BACKENDS[name]()
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        extent_report = backend_flush_extents(native, extents, 0.0)
+        if name in NATIVE:
+            assert isinstance(extent_report.responses, ResponseWindow), \
+                f"{name} silently fell back to the default loop"
+        assert_equivalent(scalar, native, scalar_report, extent_report)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    def test_flush_from_warm_state(self, name):
+        """Equivalence from a dirty mid-run state, nonzero issue time."""
+        capacity = _capacity(BACKENDS[name]())
+        extents = make_extents(capacity, 300, seed=3)
+        scalar = BACKENDS[name]()
+        native = BACKENDS[name]()
+        warm_up(scalar, capacity, seed=11)
+        warm_up(native, capacity, seed=11)
+        scalar_report = default_flush_extents(scalar, extents, 5_000.0)
+        extent_report = backend_flush_extents(native, extents, 5_000.0)
+        assert_equivalent(scalar, native, scalar_report, extent_report)
+
+    @pytest.mark.parametrize("name", sorted(BACKENDS))
+    @settings(max_examples=12, deadline=None)
+    @given(data=st.data())
+    def test_property_random_extent_lists(self, name, data):
+        """Hypothesis-shaped dirty sets: singletons, runs, duplicates."""
+        runs = data.draw(st.lists(
+            st.tuples(st.integers(0, 255), st.integers(1, 48)),
+            min_size=1, max_size=30))
+        addresses = []
+        for start, length in runs:
+            addresses.extend(
+                (start + i) * CACHELINE_BYTES for i in range(length))
+        extents = coalesce_lines(addresses)
+        scalar = BACKENDS[name]()
+        native = BACKENDS[name]()
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        extent_report = backend_flush_extents(native, extents, 0.0)
+        assert_equivalent(scalar, native, scalar_report, extent_report)
+
+    def test_psm_sweep_config_lowers_onto_batch(self):
+        """Seed rotation disables the inlined loop but the access_batch
+        lowering it falls back to is still scalar-identical."""
+        config = PSMConfig(
+            dimms=2, lines_per_dimm=1 << 10, rotate_seed_every=2,
+            wear_threshold=10,
+        )
+        extents = make_extents(
+            PSM(config).capacity, 600, seed=9)
+        scalar = PSM(config)
+        native = PSM(config)
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        extent_report = native.flush_extents(extents, 0.0)
+        assert_equivalent(scalar, native, scalar_report, extent_report)
+
+    def test_psm_out_of_capacity_matches_scalar_error(self):
+        """Both paths raise the same AddressSpaceError text and leave
+        identical served-prefix state behind."""
+        psm_scalar = PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10))
+        psm_native = PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10))
+        lines = psm_scalar.capacity // CACHELINE_BYTES
+        extents = [
+            Extent(0, 8),
+            Extent((lines - 4) * CACHELINE_BYTES, 16),  # runs past the end
+        ]
+        with pytest.raises(AddressSpaceError) as scalar_err:
+            default_flush_extents(psm_scalar, extents, 0.0)
+        with pytest.raises(AddressSpaceError) as native_err:
+            psm_native.flush_extents(extents, 0.0)
+        assert str(scalar_err.value) == str(native_err.value)
+        assert state_of(psm_scalar) == state_of(psm_native)
+
+    def test_protocol_only_backend_gets_default_loop(self):
+        class Minimal:
+            def __init__(self):
+                self.inner = DRAMSubsystem(
+                    DRAMConfig(capacity=1 << 20, ranks=4))
+
+            def access(self, request):
+                return self.inner.access(request)
+
+        extents = make_extents(1 << 20, 120, seed=77)
+        scalar = Minimal()
+        fallback = Minimal()
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        extent_report = backend_flush_extents(fallback, extents, 0.0)
+        assert isinstance(extent_report.responses, list)  # default loop
+        assert scalar_report.done_ns == extent_report.done_ns
+        assert scalar_report.blocked_ns == extent_report.blocked_ns
+        assert state_of(scalar.inner) == state_of(fallback.inner)
+
+
+class TestInterposerEquivalence:
+    def _chain(self):
+        """tap -> throttle -> PSM, the shape machine platforms build."""
+        psm = PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10))
+        return LatencyTap(BandwidthThrottle(psm, bytes_per_ns=2.0),
+                          name="port")
+
+    def test_tap_throttle_chain_matches_scalar(self):
+        capacity = _capacity(PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10)))
+        extents = make_extents(capacity, 500, seed=21)
+        scalar = self._chain()
+        native = self._chain()
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        extent_report = native.flush_extents(extents, 0.0)
+        assert_equivalent(scalar, native, scalar_report, extent_report)
+        assert extent_report.lines == sum(e.lines for e in extents)
+
+    def test_partition_routes_extents_like_scalar(self):
+        half = 1 << 20
+
+        def build():
+            return AddressRangePartition([
+                AddressRange(0, half, DRAMSubsystem(
+                    DRAMConfig(capacity=half, ranks=4))),
+                AddressRange(half, 2 * half, PSM(
+                    PSMConfig(dimms=2, lines_per_dimm=1 << 13))),
+            ])
+
+        extents = make_extents(2 * half, 500, seed=33)
+        scalar = build()
+        native = build()
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        extent_report = native.flush_extents(extents, 0.0)
+        assert_equivalent(scalar, native, scalar_report, extent_report)
+
+    def test_partition_subdivides_straddling_extent(self):
+        """A line-aligned extent across the boundary is split, not
+        rejected — exactly what the scalar per-line loop does."""
+        half = 1 << 20
+
+        def build():
+            return AddressRangePartition([
+                AddressRange(0, half, DRAMSubsystem(
+                    DRAMConfig(capacity=half, ranks=4))),
+                AddressRange(half, 2 * half, PSM(
+                    PSMConfig(dimms=2, lines_per_dimm=1 << 13))),
+            ])
+
+        straddling = [Extent(half - 2 * CACHELINE_BYTES, 4)]
+        scalar = build()
+        native = build()
+        scalar_report = default_flush_extents(scalar, straddling, 0.0)
+        extent_report = native.flush_extents(straddling, 0.0)
+        assert_equivalent(scalar, native, scalar_report, extent_report)
+
+    def test_partition_boundary_crossing_matches_scalar_error(self):
+        """A line that spans a non-line-aligned region edge raises the
+        same boundary-crossing error on both paths."""
+        edge = (1 << 20) + 32  # mid-line region edge
+
+        def build():
+            return AddressRangePartition([
+                AddressRange(0, edge, DRAMSubsystem(
+                    DRAMConfig(capacity=1 << 20, ranks=4))),
+                AddressRange(edge, 1 << 21, PSM(
+                    PSMConfig(dimms=2, lines_per_dimm=1 << 13))),
+            ])
+
+        crossing = [Extent(0, 2), Extent(1 << 20, 1)]
+        scalar = build()
+        native = build()
+        with pytest.raises(AddressSpaceError) as scalar_err:
+            default_flush_extents(scalar, crossing, 0.0)
+        with pytest.raises(AddressSpaceError) as native_err:
+            native.flush_extents(crossing, 0.0)
+        assert str(scalar_err.value) == str(native_err.value)
+        assert "crosses the region boundary" in str(native_err.value)
+
+    def test_partition_outside_region_matches_scalar_error(self):
+        region = AddressRange(0, 1 << 20, DRAMSubsystem(
+            DRAMConfig(capacity=1 << 20, ranks=4)))
+        scalar = AddressRangePartition([region])
+        native = AddressRangePartition([AddressRange(
+            0, 1 << 20, DRAMSubsystem(DRAMConfig(capacity=1 << 20,
+                                                 ranks=4)))])
+        outside = [Extent(0, 2), Extent(1 << 21, 1)]
+        with pytest.raises(AddressSpaceError) as scalar_err:
+            default_flush_extents(scalar, outside, 0.0)
+        with pytest.raises(AddressSpaceError) as native_err:
+            native.flush_extents(outside, 0.0)
+        assert str(scalar_err.value) == str(native_err.value)
+        assert "outside every partition region" in str(native_err.value)
+
+
+class TestFaultInjectorMidExtent:
+    """Satellite regression: the crash index must split extents exactly —
+    served prefix, wear registers and ``completed`` length all equal to
+    the scalar loop's."""
+
+    CONFIG = dict(dimms=2, lines_per_dimm=1 << 10)
+
+    def _build(self, crash_at):
+        return FaultInjector(PSM(PSMConfig(**self.CONFIG)),
+                             crash_at_op=crash_at)
+
+    @pytest.mark.parametrize("crash_at", (0, 1, 5, 37, 250, 499))
+    def test_crash_splits_extent_exactly(self, crash_at):
+        capacity = PSM(PSMConfig(**self.CONFIG)).capacity
+        extents = make_extents(capacity, 500, seed=55)
+        scalar = self._build(crash_at)
+        native = self._build(crash_at)
+
+        with pytest.raises(InjectedPowerFailure) as scalar_err:
+            default_flush_extents(scalar, extents, 0.0)
+        with pytest.raises(InjectedPowerFailure) as native_err:
+            native.flush_extents(extents, 0.0)
+
+        assert str(scalar_err.value) == str(native_err.value)
+        scalar_served = scalar_err.value.completed
+        native_served = native_err.value.completed
+        assert len(scalar_served) == crash_at
+        assert len(native_served) == crash_at
+        for index, (a, b) in enumerate(zip(scalar_served, native_served)):
+            assert repr(a) == repr(b), f"served line {index} diverged"
+        assert scalar.op_index == native.op_index
+        assert scalar.tripped and native.tripped
+        assert state_of(scalar.inner) == state_of(native.inner)
+
+    def test_no_crash_in_window_advances_op_index(self):
+        scalar = self._build(10_000)
+        native = self._build(10_000)
+        extents = [Extent(0, 8), Extent(1 << 12, 4)]
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        extent_report = native.flush_extents(extents, 0.0)
+        assert scalar.op_index == native.op_index == 12
+        assert not scalar.tripped and not native.tripped
+        assert_equivalent(scalar.inner, native.inner, scalar_report,
+                          extent_report)
+
+
+class TestStatsResetAfterPowerCycle:
+    """Satellite: flush/drain counters under a full interposer chain
+    restart from zero after ``power_cycle``; registry paths stay live."""
+
+    def _chain(self):
+        psm = PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10))
+        return LatencyTap(
+            BandwidthThrottle(
+                FaultInjector(psm, crash_at_op=None), bytes_per_ns=2.0
+            ),
+            name="port",
+        )
+
+    def test_counters_restart_from_zero(self):
+        chain = self._chain()
+        registry = StatsRegistry()
+        chain.register_stats(registry.scoped("memory"))
+        before_keys = set(registry.flat())
+
+        extents = make_extents(
+            _capacity(PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10))),
+            400, seed=5)
+        chain.flush_extents(extents, 0.0)
+        flat = registry.flat()
+        tap_writes = [v for k, v in flat.items() if "write" in k and v]
+        assert tap_writes, "flush produced no write stats through the tap"
+
+        chain.power_cycle()
+        flat = registry.flat()
+        assert set(flat) == before_keys, "stale registry nodes leaked"
+        # Controller-side state zeroes in place (registry references keep
+        # resolving); host-side simulation stats on the PSM persist.
+        assert chain.read_latency.count == 0
+        assert chain.write_latency.count == 0
+        assert chain.inner.throttled_ns == 0.0
+        psm = chain.inner.inner.inner
+        assert not psm._pending and not psm._buffers
+        assert not psm._channel_busy
+
+        # The same chain keeps serving after the cycle, from zero.
+        report = chain.flush_extents(extents[:4], 0.0)
+        assert chain.write_latency.count == report.lines
+
+
+class TestSnGReportIdentity:
+    """Stop/Go reports must be byte-identical whichever flush path the
+    port drains the dirty population through."""
+
+    def _dirty(self, psm):
+        extents = make_extents(psm.capacity, 256, seed=13)
+        per_core = [extents[i::8] for i in range(8)]
+        return [chunk for chunk in per_core if chunk]
+
+    def _run(self, flush_fn):
+        psm = PSM()
+        per_core = self._dirty(psm)
+        counts = [sum(e.lines for e in chunk) for chunk in per_core]
+
+        def flush_port(t):
+            done = t
+            for chunk in per_core:
+                report = flush_fn(psm, chunk, t)
+                if report.done_ns > done:
+                    done = report.done_ns
+            flushed = psm.flush(done)
+            return flushed if flushed > done else done
+
+        kernel = Kernel()
+        kernel.populate()
+        sng = SnG(kernel, flush_port=flush_port,
+                  dirty_lines_fn=lambda: list(counts))
+        stop = sng.stop()
+        go = sng.go()
+        assert sng.verify_resumed_state()
+        return dataclasses.asdict(stop), dataclasses.asdict(go)
+
+    def test_stop_and_go_reports_identical(self):
+        scalar_stop, scalar_go = self._run(default_flush_extents)
+        extent_stop, extent_go = self._run(backend_flush_extents)
+        assert scalar_stop == extent_stop
+        assert scalar_go == extent_go
+
+    def test_incremental_snapshot_reuses_unchanged_tasks(self):
+        kernel = Kernel()
+        kernel.populate()
+        sng = SnG(kernel, flush_port=lambda t: t,
+                  dirty_lines_fn=lambda: [0] * kernel.config.cores)
+        sng.stop()
+        first_serialized = sng.pcb_entries_serialized
+        assert first_serialized == len(kernel.all_tasks())
+        assert sng.pcb_entries_reused == 0
+        # verify_resumed_state re-snapshots; parked registers compare
+        # equal, so every entry is a cache hit and bytes still match.
+        assert sng.verify_resumed_state()
+        assert sng.pcb_entries_serialized == first_serialized
+        assert sng.pcb_entries_reused == first_serialized
+
+
+class TestDirtyExtentMap:
+    def test_coalesces_adjacent_lines(self):
+        dirty = DirtyExtentMap()
+        dirty.note_write(0)
+        dirty.note_write(64)
+        dirty.note_write(65)  # same line as 64
+        dirty.note_write(256)
+        assert dirty.line_count == 3
+        assert dirty.dirty_bytes == 3 * CACHELINE_BYTES
+        assert dirty.extents() == [Extent(0, 2), Extent(256, 1)]
+
+    def test_take_is_a_delta_cut(self):
+        dirty = DirtyExtentMap()
+        dirty.note_lines([0, 64, 128])
+        assert dirty.take() == [Extent(0, 3)]
+        assert not dirty
+        assert dirty.take() == []
+
+    def test_note_window_records_only_writes(self):
+        from repro.memory.batch import RequestWindow
+
+        dirty = DirtyExtentMap()
+        dirty.note_window(RequestWindow(
+            [True, False, True], [0, 64, 128], [0.0, 0.0, 0.0]))
+        assert sorted(e.start for e in dirty.extents()) == [0, 128]
+
+    def test_delta_checkpoint_costing_is_quiet_when_clean(self):
+        psm = PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10))
+        dirty = DirtyExtentMap()
+        dirty.note_lines(range(0, 64 * CACHELINE_BYTES, CACHELINE_BYTES))
+
+        scheck = SCheckPC()
+        first = scheck.period_dump_port_ns(psm, dirty)
+        assert first > 0.0
+        assert scheck.period_dump_port_ns(psm, dirty) == 0.0  # drained
+
+        acheck = ACheckPC()
+        dirty.note_lines([0, 64])
+        cost = acheck.checkpoint_port_ns(psm, dirty)
+        assert cost > acheck.commit_ns
+        assert acheck.checkpoint_port_ns(psm, dirty) == acheck.commit_ns
