@@ -8,6 +8,8 @@ Subcommands mirror how the paper is used day to day:
 * ``bench``        — regenerate one paper table/figure (or ``all``).
 * ``characterize`` — print the measured Table II row for a workload.
 * ``fuzz``         — run the crash-consistency fuzzing campaigns.
+* ``litmus``       — generated ordering litmus tests with exhaustive
+  crash-point enumeration against the persistency-model oracle.
 * ``stats``        — dump a platform's hierarchical stats tree after a run.
 """
 
@@ -119,6 +121,32 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--progress", action="store_true",
                       help="print trials/sec, ETA and violation counts "
                            "to stderr as the campaign runs")
+
+    litmus = sub.add_parser(
+        "litmus",
+        help="generated ordering litmus tests, every crash point "
+             "enumerated and checked against the persistency oracle")
+    litmus.add_argument("--shape", default="all",
+                        help="litmus shape to generate (default: all; "
+                             "see repro.litmus.SHAPES)")
+    litmus.add_argument("--trials", type=_positive_int, default=None,
+                        help="generated programs; each is enumerated "
+                             "exhaustively on every execution path")
+    litmus.add_argument("--seed", type=int, default=None,
+                        help="campaign seed (default: the litmus "
+                             "campaign's own)")
+    litmus.add_argument("--jobs", type=_positive_int, default=1,
+                        help="worker processes; results are identical at "
+                             "any parallelism (default 1)")
+    litmus.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="cache completed shards under DIR so re-runs "
+                             "are incremental")
+    litmus.add_argument("--progress", action="store_true",
+                        help="print trials/sec, ETA and violation counts "
+                             "to stderr as the campaign runs")
+    litmus.add_argument("--artifacts", metavar="DIR", default=None,
+                        help="on violation, write counterexample traces "
+                             "as JSON under DIR (CI uploads these)")
 
     tree = sub.add_parser("stats",
                           help="run a workload, dump the machine's "
@@ -262,6 +290,55 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     return status
 
 
+def _cmd_litmus(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.litmus import SHAPES, run_litmus
+    from repro.orchestrate import CampaignProgress
+
+    if args.shape != "all" and args.shape not in SHAPES:
+        print(f"error: unknown litmus shape {args.shape!r}; have "
+              f"{', '.join(sorted(SHAPES))} or 'all'", file=sys.stderr)
+        return 2
+    if args.cache_dir:
+        import os
+
+        if os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
+            print(f"error: --cache-dir {args.cache_dir!r} exists and is "
+                  f"not a directory", file=sys.stderr)
+            return 2
+    kwargs = {"shape": args.shape, "jobs": args.jobs,
+              "cache_dir": args.cache_dir}
+    if args.trials:
+        kwargs["trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.progress:
+        trials = args.trials or \
+            inspect.signature(run_litmus).parameters["trials"].default
+        kwargs["progress"] = CampaignProgress(
+            "litmus", total_trials=trials, stream=sys.stderr)
+    report = run_litmus(**kwargs)
+    print(report.summary())
+    if report.ok:
+        return 0
+    for violation in report.violations[:5]:
+        print(f"  ! {violation}")
+    if args.artifacts:
+        import json
+        import os
+
+        os.makedirs(args.artifacts, exist_ok=True)
+        path = os.path.join(args.artifacts, "litmus-counterexamples.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({
+                "summary": report.summary(),
+                "violations": report.violations,
+            }, handle, indent=2, sort_keys=True)
+        print(f"  counterexamples written to {path}")
+    return 1
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import stats_tree
 
@@ -327,6 +404,7 @@ _COMMANDS = {
     "bench": _cmd_bench,
     "characterize": _cmd_characterize,
     "fuzz": _cmd_fuzz,
+    "litmus": _cmd_litmus,
     "stats": _cmd_stats,
     "profile": _cmd_profile,
     "trace": _cmd_trace,

@@ -950,10 +950,29 @@ class FaultInjector(Interposer):
         inner: MemoryBackend,
         crash_at_op: Optional[int] = None,
         corrupt_data_fn: Optional[Callable[[int, bytes], bytes]] = None,
+        count_drains: bool = False,
     ) -> None:
         super().__init__(inner)
         self.crash_at_op = crash_at_op
         self.corrupt_data_fn = corrupt_data_fn
+        #: Count ``drain`` as a schedulable operation.  Off by default —
+        #: the crash fuzzers predate drain accounting and their cached
+        #: shard fingerprints assume drains are free — but the litmus
+        #: engine turns it on so a power cut can land exactly on a
+        #: fence, which is where fence-persists misconceptions hide.
+        self.count_drains = count_drains
+        self.op_index = 0
+        self.tripped = False
+
+    def schedule(self, crash_at_op: Optional[int]) -> None:
+        """Re-arm the injector: schedule a new cut and rewind the count.
+
+        Crash-point enumerators sweep ``crash_at_op`` over every index
+        of the same operation stream; this resets ``op_index`` and
+        ``tripped`` so each sweep starts from a fresh count (the backend
+        itself must be rebuilt or power-cycled by the caller).
+        """
+        self.crash_at_op = crash_at_op
         self.op_index = 0
         self.tripped = False
 
@@ -1060,6 +1079,11 @@ class FaultInjector(Interposer):
     def flush(self, time: float) -> float:
         self._tick()
         return self.inner.flush(time)
+
+    def drain(self, time: float) -> float:
+        if self.count_drains:
+            self._tick()
+        return self.inner.drain(time)
 
     def power_fail(self) -> None:
         """The rails die: propagate the loss to the wrapped backend."""

@@ -72,6 +72,10 @@ class CampaignStats:
     cached_shards: int = 0
     trials: int = 0
     violations: int = 0
+    #: summed ``operations`` across trial results that carry the field
+    #: (crashfuzz outcomes count stream ops, litmus outcomes IR ops) —
+    #: cached shards contribute too, so the figure is replay-stable.
+    operations: int = 0
 
 
 def run_shard(campaign: Campaign, lo: int, hi: int) -> list:
@@ -97,6 +101,15 @@ def _count_violations(results: Sequence[Any]) -> int:
         violations = getattr(result, "violations", None)
         if violations is not None:
             total += len(violations)
+    return total
+
+
+def _count_operations(results: Sequence[Any]) -> int:
+    total = 0
+    for result in results:
+        operations = getattr(result, "operations", None)
+        if operations is not None:
+            total += operations
     return total
 
 
@@ -158,6 +171,7 @@ class CampaignRunner:
         def record(shard_index: int, shard_results: list, cached: bool) -> None:
             results[shard_index] = shard_results
             stats.trials += len(shard_results)
+            stats.operations += _count_operations(shard_results)
             violations = _count_violations(shard_results)
             stats.violations += violations
             if cached:

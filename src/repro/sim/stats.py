@@ -164,7 +164,10 @@ class LatencyStats:
         """Approximate q-th percentile (q in [0, 100]) from the reservoir."""
         if not self._reservoir:
             return 0.0
-        ordered = sorted(self._reservoir)
+        return self._quantile(sorted(self._reservoir), q)
+
+    @staticmethod
+    def _quantile(ordered: Sequence[float], q: float) -> float:
         if q <= 0:
             return ordered[0]
         if q >= 100:
@@ -182,15 +185,23 @@ class LatencyStats:
         return self.max / self.min
 
     def summary(self) -> dict[str, float]:
+        if not self.count:
+            # A freshly-built or freshly-reset node: every field is an
+            # exact 0.0, never an inf/NaN sentinel leaking out of the
+            # internal min/max bookkeeping (``repro stats`` renders and
+            # JSON-serializes these nodes directly).
+            return {"count": 0, "mean": 0.0, "stdev": 0.0, "min": 0.0,
+                    "max": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+        ordered = sorted(self._reservoir)
         return {
             "count": self.count,
             "mean": self.mean,
             "stdev": self.stdev,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "p50": self.percentile(50),
-            "p95": self.percentile(95),
-            "p99": self.percentile(99),
+            "min": self.min,
+            "max": self.max,
+            "p50": self._quantile(ordered, 50) if ordered else 0.0,
+            "p95": self._quantile(ordered, 95) if ordered else 0.0,
+            "p99": self._quantile(ordered, 99) if ordered else 0.0,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

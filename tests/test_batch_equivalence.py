@@ -278,3 +278,53 @@ class TestInterposerEquivalence:
         for a, b in zip(scalar_responses, batch_responses):
             assert repr(a) == repr(b)
         assert state_of(scalar.inner) == state_of(batched.inner)
+
+
+class TestFaultInjectorWindowEdges:
+    """Satellite regression: the off-by-one edges of the batch split —
+    op 0, the final element of a window, and one past the end."""
+
+    N = 12
+
+    def _build(self, crash_at):
+        return FaultInjector(
+            PSM(PSMConfig(dimms=2, lines_per_dimm=1 << 10)),
+            crash_at_op=crash_at)
+
+    def _window(self):
+        return RequestWindow([True] * self.N,
+                             [i * CACHELINE_BYTES for i in range(self.N)],
+                             [0.0] * self.N)
+
+    def test_crash_at_op_zero_serves_empty_prefix(self):
+        port = self._build(0)
+        with pytest.raises(InjectedPowerFailure) as excinfo:
+            backend_access_batch(port, self._window())
+        assert excinfo.value.completed == []
+        assert port.op_index == 0 and port.tripped
+        assert state_of(port.inner) == state_of(self._build(0).inner)
+
+    def test_crash_at_final_element_serves_all_but_one(self):
+        batched = self._build(self.N - 1)
+        scalar = self._build(self.N - 1)
+        with pytest.raises(InjectedPowerFailure) as batch_err:
+            backend_access_batch(batched, self._window())
+        scalar_served = []
+        window = self._window()
+        with pytest.raises(InjectedPowerFailure):
+            for index in range(self.N):
+                scalar_served.append(scalar.access(window.request_at(index)))
+        assert len(batch_err.value.completed) == self.N - 1
+        assert len(scalar_served) == self.N - 1
+        for a, b in zip(scalar_served, batch_err.value.completed):
+            assert repr(a) == repr(b)
+        assert scalar.op_index == batched.op_index == self.N - 1
+        assert state_of(scalar.inner) == state_of(batched.inner)
+
+    def test_crash_one_past_the_end_forwards_whole(self):
+        port = self._build(self.N)
+        responses = backend_access_batch(port, self._window())
+        assert len(responses) == self.N
+        assert not port.tripped and port.op_index == self.N
+        with pytest.raises(InjectedPowerFailure):
+            port.access(MemoryRequest(MemoryOp.READ, 0, time=0.0))

@@ -512,3 +512,119 @@ class TestDirtyExtentMap:
         cost = acheck.checkpoint_port_ns(psm, dirty)
         assert cost > acheck.commit_ns
         assert acheck.checkpoint_port_ns(psm, dirty) == acheck.commit_ns
+
+
+class TestFaultInjectorExtentEdges:
+    """Satellite regression: the off-by-one edges of the crash split —
+    op 0, the final line of an extent list, and one past the end."""
+
+    CONFIG = dict(dimms=2, lines_per_dimm=1 << 10)
+    EXTENTS = [Extent(0, 8), Extent(1 << 12, 4)]   # 12 lines exactly
+
+    def _build(self, crash_at):
+        return FaultInjector(PSM(PSMConfig(**self.CONFIG)),
+                             crash_at_op=crash_at)
+
+    def test_crash_at_op_zero_serves_empty_prefix(self):
+        scalar = self._build(0)
+        native = self._build(0)
+        with pytest.raises(InjectedPowerFailure) as scalar_err:
+            default_flush_extents(scalar, self.EXTENTS, 0.0)
+        with pytest.raises(InjectedPowerFailure) as native_err:
+            native.flush_extents(self.EXTENTS, 0.0)
+        assert scalar_err.value.completed == []
+        assert native_err.value.completed == []
+        assert scalar.op_index == native.op_index == 0
+        assert state_of(scalar.inner) == state_of(native.inner)
+
+    def test_crash_at_final_line_serves_all_but_one(self):
+        scalar = self._build(11)
+        native = self._build(11)
+        with pytest.raises(InjectedPowerFailure) as scalar_err:
+            default_flush_extents(scalar, self.EXTENTS, 0.0)
+        with pytest.raises(InjectedPowerFailure) as native_err:
+            native.flush_extents(self.EXTENTS, 0.0)
+        assert len(scalar_err.value.completed) == 11
+        assert len(native_err.value.completed) == 11
+        for a, b in zip(scalar_err.value.completed,
+                        native_err.value.completed):
+            assert repr(a) == repr(b)
+        assert scalar.op_index == native.op_index == 11
+        assert state_of(scalar.inner) == state_of(native.inner)
+
+    def test_crash_one_past_the_end_forwards_whole(self):
+        scalar = self._build(12)
+        native = self._build(12)
+        scalar_report = default_flush_extents(scalar, self.EXTENTS, 0.0)
+        native_report = native.flush_extents(self.EXTENTS, 0.0)
+        assert not scalar.tripped and not native.tripped
+        assert scalar.op_index == native.op_index == 12
+        assert_equivalent(scalar.inner, native.inner, scalar_report,
+                          native_report)
+        # the *next* op is the crashed one
+        with pytest.raises(InjectedPowerFailure):
+            native.access(MemoryRequest(MemoryOp.READ, 0, time=0.0))
+
+
+class TestDirtyExtentMapAdversarial:
+    """Satellite: overlap, rewrite-after-take, and region-abutting
+    extents — the patterns a litmus cut writeback actually produces."""
+
+    def test_overlapping_note_lines_ranges_coalesce_once(self):
+        dirty = DirtyExtentMap()
+        dirty.note_lines(range(0, 10 * CACHELINE_BYTES, CACHELINE_BYTES))
+        dirty.note_lines(range(5 * CACHELINE_BYTES, 15 * CACHELINE_BYTES,
+                               CACHELINE_BYTES))
+        assert dirty.line_count == 15
+        assert dirty.extents() == [Extent(0, 15)]
+
+    def test_write_take_rewrite_same_line(self):
+        dirty = DirtyExtentMap()
+        dirty.note_write(CACHELINE_BYTES)
+        assert dirty.take() == [Extent(CACHELINE_BYTES, 1)]
+        assert dirty.take() == []
+        dirty.note_write(CACHELINE_BYTES)            # re-dirty after cut
+        dirty.note_write(CACHELINE_BYTES)            # idempotent
+        assert dirty.line_count == 1
+        assert dirty.take() == [Extent(CACHELINE_BYTES, 1)]
+        assert not dirty
+
+    def test_interior_offsets_map_to_their_line(self):
+        dirty = DirtyExtentMap()
+        dirty.note_write(CACHELINE_BYTES + 1)
+        dirty.note_write(2 * CACHELINE_BYTES - 1)
+        assert dirty.extents() == [Extent(CACHELINE_BYTES, 1)]
+
+    def _partition(self, half_lines):
+        half = half_lines * CACHELINE_BYTES
+        return AddressRangePartition([
+            AddressRange(0, half, PSM(PSMConfig(**{
+                "dimms": 2, "lines_per_dimm": 1 << 10}))),
+            AddressRange(half, 2 * half, PSM(PSMConfig(**{
+                "dimms": 2, "lines_per_dimm": 1 << 10}))),
+        ])
+
+    @pytest.mark.parametrize("shape", ("straddle", "end_at", "start_at"))
+    def test_extents_abutting_region_boundary(self, shape):
+        half_lines = 64
+        boundary = half_lines * CACHELINE_BYTES
+        dirty = DirtyExtentMap()
+        if shape == "straddle":
+            lines = range(boundary - 3 * CACHELINE_BYTES,
+                          boundary + 3 * CACHELINE_BYTES, CACHELINE_BYTES)
+        elif shape == "end_at":
+            lines = range(boundary - 4 * CACHELINE_BYTES, boundary,
+                          CACHELINE_BYTES)
+        else:
+            lines = range(boundary, boundary + 4 * CACHELINE_BYTES,
+                          CACHELINE_BYTES)
+        dirty.note_lines(lines)
+        extents = dirty.take()
+        assert len(extents) == 1     # coalesced across the seam
+
+        scalar = self._partition(half_lines)
+        native = self._partition(half_lines)
+        scalar_report = default_flush_extents(scalar, extents, 0.0)
+        native_report = backend_flush_extents(native, extents, 0.0)
+        assert scalar_report.lines == native_report.lines == len(list(lines))
+        assert_equivalent(scalar, native, scalar_report, native_report)

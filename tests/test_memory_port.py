@@ -409,3 +409,148 @@ class TestMachineIntegration:
         tree = json.loads(capsys.readouterr().out)
         assert tree["platform"] == "lightpc"
         assert "memory" in tree and "cpu" in tree
+
+
+class TestFaultInjectorBoundaries:
+    """Satellite regression: ``completed`` prefix accounting at the
+    off-by-one edges — a cut scheduled at op 0 and exactly at the ends
+    of an operation stream."""
+
+    def _injector(self, crash_at, **kwargs):
+        return FaultInjector(_psm(), crash_at_op=crash_at, **kwargs)
+
+    def test_crash_at_op_zero_serves_nothing(self):
+        port = self._injector(0)
+        with pytest.raises(InjectedPowerFailure) as excinfo:
+            port.access(MemoryRequest(MemoryOp.WRITE, 0,
+                                      data=b"\x07" * 64, time=0.0))
+        assert excinfo.value.completed == []
+        assert port.tripped and port.op_index == 0
+        # nothing reached the backend: the line still reads as initial
+        response = port.access(MemoryRequest(MemoryOp.READ, 0, time=0.0))
+        assert not response.data or not any(response.data)
+
+    def test_crash_at_op_zero_in_batch_serves_nothing(self):
+        port = self._injector(0)
+        requests = [MemoryRequest(MemoryOp.WRITE, i * 64,
+                                  data=bytes([i + 1]) * 64, time=0.0)
+                    for i in range(6)]
+        with pytest.raises(InjectedPowerFailure) as excinfo:
+            port.access_batch(requests)
+        assert excinfo.value.completed == []
+        assert port.op_index == 0 and port.tripped
+
+    def test_schedule_rearm_resets_the_count(self):
+        port = self._injector(None)
+        for i in range(5):
+            port.access(MemoryRequest(MemoryOp.WRITE, i * 64,
+                                      data=b"\x01" * 64, time=0.0))
+        assert port.op_index == 5
+        port.schedule(1)
+        assert port.op_index == 0 and not port.tripped
+        port.access(MemoryRequest(MemoryOp.READ, 0, time=0.0))
+        with pytest.raises(InjectedPowerFailure):
+            port.access(MemoryRequest(MemoryOp.READ, 0, time=0.0))
+        port.schedule(None)
+        assert not port.tripped
+        port.access(MemoryRequest(MemoryOp.READ, 0, time=0.0))
+
+    def test_drains_are_free_by_default_but_schedulable(self):
+        free = self._injector(1)
+        free.access(MemoryRequest(MemoryOp.WRITE, 0, data=b"\x01" * 64,
+                                  time=0.0))
+        free.drain(0.0)                 # not an op: no trip
+        assert free.op_index == 1 and not free.tripped
+
+        counted = self._injector(1, count_drains=True)
+        counted.access(MemoryRequest(MemoryOp.WRITE, 0, data=b"\x01" * 64,
+                                     time=0.0))
+        with pytest.raises(InjectedPowerFailure):
+            counted.drain(0.0)          # the fence is the crashed op
+        assert counted.tripped and counted.op_index == 1
+
+
+class TestWearRegisterRoundTripUnderChain:
+    """Satellite: ``power_cycle`` + ``restore_wear_registers`` through a
+    full LatencyTap -> Throttle -> Partition -> FaultInjector chain must
+    round-trip the wear state and keep the stats tree shape intact."""
+
+    LINES_PER_REGION = 1 << 9
+
+    def _chain(self):
+        def region_psm():
+            # a low wear threshold so the Start-Gap mapping actually
+            # moves during the test and the capture carries real state
+            return FaultInjector(PSM(PSMConfig(
+                dimms=2, lines_per_dimm=self.LINES_PER_REGION,
+                wear_threshold=8), functional=True))
+
+        span = 2 * self.LINES_PER_REGION * 64
+        partition = AddressRangePartition([
+            AddressRange(0, span, region_psm()),
+            AddressRange(span, 2 * span, region_psm()),
+        ])
+        return LatencyTap(BandwidthThrottle(partition, bytes_per_ns=2.0),
+                          name="port")
+
+    def _write_both_regions(self, chain, count=64):
+        span = 2 * self.LINES_PER_REGION * 64
+        t = 0.0
+        for i in range(count):
+            for base in (0, span):
+                response = chain.access(MemoryRequest(
+                    MemoryOp.WRITE, base + (i % 128) * 64,
+                    data=bytes([1 + i % 200]) * 64, time=t))
+                t = response.complete_time
+        return chain.flush(t)
+
+    def test_wear_state_round_trips(self):
+        chain = self._chain()
+        self._write_both_regions(chain)
+        committed = chain.capture_registers()
+
+        chain.power_cycle()
+        # the cycle reset the volatile wear registers: a fresh capture
+        # differs until the EP-cut state is restored
+        assert chain.capture_registers() != committed
+        chain.restore_wear_registers(committed)
+        assert chain.capture_registers() == committed
+
+    def test_flushed_data_survives_cycle_after_restore(self):
+        chain = self._chain()
+        end = self._write_both_regions(chain)
+        expected = {}
+        span = 2 * self.LINES_PER_REGION * 64
+        for base in (0, span):
+            for i in range(8):
+                address = base + i * 64
+                data = chain.access(MemoryRequest(
+                    MemoryOp.READ, address, time=end)).data
+                expected[address] = bytes(data) if data else None
+        committed = chain.capture_registers()
+        chain.power_cycle()
+        chain.restore_wear_registers(committed)
+        for address, data in expected.items():
+            observed = chain.access(MemoryRequest(
+                MemoryOp.READ, address, time=end)).data
+            assert (bytes(observed) if observed else None) == data, \
+                f"address {address:#x} diverged across the cycle"
+
+    def test_stats_tree_shape_is_identical_across_cycle(self):
+        chain = self._chain()
+        self._write_both_regions(chain)
+        before = StatsRegistry()
+        chain.register_stats(before.scoped("memory"))
+        keys_before = set(before.flat())
+        assert keys_before  # the chain registered something
+
+        committed = chain.capture_registers()
+        chain.power_cycle()
+        chain.restore_wear_registers(committed)
+
+        after = StatsRegistry()
+        chain.register_stats(after.scoped("memory"))
+        assert set(after.flat()) == keys_before
+        # the already-registered registry stays live across the cycle
+        # (interposers reset their distributions in place)
+        assert set(before.flat()) == keys_before

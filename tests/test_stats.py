@@ -169,3 +169,64 @@ class TestMeans:
     def test_geometric_mean_between_min_and_max(self, values):
         g = geometric_mean(values)
         assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestZeroSampleRendering:
+    """Satellite: zero-sample nodes must render everywhere — summaries,
+    registry snapshots, the ``repro stats`` outline and JSON — with
+    exact zeros, never an inf/NaN leaking from the min/max bookkeeping."""
+
+    def _registry(self):
+        from repro.sim import StatsRegistry
+
+        stats = LatencyStats("lat")
+        ratio = RatioStat()
+        registry = StatsRegistry()
+        scope = registry.scoped("memory")
+        scope.register("lat", stats)
+        scope.register("hit_ratio", lambda: ratio.ratio)
+        return registry, stats, ratio
+
+    def test_zero_sample_summary_is_exact_zeros(self):
+        summary = LatencyStats().summary()
+        assert summary == {"count": 0, "mean": 0.0, "stdev": 0.0,
+                           "min": 0.0, "max": 0.0, "p50": 0.0,
+                           "p95": 0.0, "p99": 0.0}
+
+    def test_summary_after_reset_matches_fresh(self):
+        s = LatencyStats()
+        s.extend([3.0, 9.0, 27.0])
+        s.reset()
+        assert s.summary() == LatencyStats().summary()
+        assert s.percentile(99) == 0.0
+        assert s.spread() == 0.0
+
+    def test_freshly_reset_registry_snapshot_renders(self):
+        import json
+        import math as _math
+
+        from repro.analysis.report import render_stats
+
+        registry, stats, ratio = self._registry()
+        stats.extend([1.0, 2.0])
+        ratio.record(True)
+        stats.reset()
+        ratio.hits = ratio.total = 0
+
+        tree = registry.snapshot()
+        for value in registry.flat().values():
+            assert _math.isfinite(value)
+        rendered = render_stats(tree)
+        assert any("lat" in line for line in rendered)
+        assert not any("inf" in line or "nan" in line for line in rendered)
+        encoded = json.dumps(tree, sort_keys=True)
+        assert "Infinity" not in encoded and "NaN" not in encoded
+
+    def test_summary_is_consistent_with_percentile(self):
+        s = LatencyStats()
+        s.extend(float(v) for v in range(1, 101))
+        summary = s.summary()
+        assert summary["p50"] == s.percentile(50)
+        assert summary["p95"] == s.percentile(95)
+        assert summary["p99"] == s.percentile(99)
+        assert summary["min"] == 1.0 and summary["max"] == 100.0
