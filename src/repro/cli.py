@@ -73,6 +73,37 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
+def _cache_dir_error(path: str) -> Optional[str]:
+    """One-line reason a --cache-dir is unusable, or None if it is fine.
+
+    Probes by creating the directory (the runner would anyway): a path
+    blocked by a file, a missing parent we cannot create, or a
+    permission wall all surface here as exit-code-2 messages instead of
+    tracebacks deep inside the shard cache.
+    """
+    import os
+
+    if os.path.exists(path):
+        if not os.path.isdir(path):
+            return f"--cache-dir {path!r} exists and is not a directory"
+        if not os.access(path, os.W_OK):
+            return f"--cache-dir {path!r} is not writable"
+        return None
+    try:
+        os.makedirs(path, exist_ok=True)
+    except OSError as exc:
+        reason = exc.strerror or exc.__class__.__name__
+        return f"--cache-dir {path!r} cannot be created ({reason})"
+    return None
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="lightpc-repro",
@@ -89,11 +120,46 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--refs", type=int, default=20_000,
                      help="trace references (default 20000)")
 
-    drill = sub.add_parser("drill", help="power-failure drill with recovery")
+    drill = sub.add_parser(
+        "drill",
+        help="power-failure drill with recovery; --trials switches to "
+             "compound-fault campaign mode (nested cuts, torn extent "
+             "flushes, media errors)")
     drill.add_argument("--workload", default="redis",
                        choices=sorted(WORKLOAD_SPECS))
     drill.add_argument("--psu", default="atx", choices=sorted(_PSUS))
     drill.add_argument("--refs", type=int, default=12_000)
+    drill.add_argument("--trials", type=_positive_int, default=None,
+                       help="run a compound-fault drill campaign of this "
+                            "many generated program x fault-plan scenarios "
+                            "instead of the single-machine drill")
+    drill.add_argument("--shape", default="all",
+                       help="litmus shape the campaign drills (default: "
+                            "all; see repro.litmus.SHAPES)")
+    drill.add_argument("--seed", type=int, default=None,
+                       help="campaign seed (default: the drill "
+                            "campaign's own)")
+    drill.add_argument("--jobs", type=_positive_int, default=1,
+                       help="worker processes; results are identical at "
+                            "any parallelism (default 1)")
+    drill.add_argument("--cache-dir", metavar="DIR", default=None,
+                       help="cache completed shards under DIR so re-runs "
+                            "are incremental")
+    drill.add_argument("--progress", action="store_true",
+                       help="print trials/sec, ETA and violation counts "
+                            "to stderr as the campaign runs")
+    drill.add_argument("--artifacts", metavar="DIR", default=None,
+                       help="on violation, write counterexample traces "
+                            "as JSON under DIR (CI uploads these)")
+    drill.add_argument("--trial-timeout", type=_positive_float,
+                       default=None, metavar="SECONDS",
+                       help="per-trial watchdog: a hung trial is killed "
+                            "and retried once with the same derived seed "
+                            "before the campaign fails")
+    drill.add_argument("--break-remap", action="store_true",
+                       help="disable retired-unit remap (the deliberately "
+                            "broken degradation rule) to prove the oracle "
+                            "detects and minimizes the violation")
 
     bench = sub.add_parser("bench", help="regenerate a paper table/figure")
     bench.add_argument("experiment",
@@ -199,6 +265,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_drill(args: argparse.Namespace) -> int:
+    if args.trials is not None:
+        return _cmd_drill_campaign(args)
     workload = load_workload(args.workload, refs=args.refs)
     machine = Machine.for_workload("lightpc", workload)
     machine.run(workload)
@@ -214,6 +282,57 @@ def _cmd_drill(args: argparse.Namespace) -> int:
               f"{intact}")
         return 0 if (outcome.survived and intact) else 1
     print("cold boot (no committed EP-cut)")
+    return 1
+
+
+def _cmd_drill_campaign(args: argparse.Namespace) -> int:
+    import inspect
+
+    from repro.faults import run_drill
+    from repro.litmus import SHAPES
+    from repro.orchestrate import CampaignProgress
+
+    if args.shape != "all" and args.shape not in SHAPES:
+        print(f"error: unknown litmus shape {args.shape!r}; have "
+              f"{', '.join(sorted(SHAPES))} or 'all'", file=sys.stderr)
+        return 2
+    if args.cache_dir:
+        problem = _cache_dir_error(args.cache_dir)
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
+            return 2
+    kwargs = {"shape": args.shape, "jobs": args.jobs,
+              "cache_dir": args.cache_dir,
+              "remap_enabled": not args.break_remap,
+              "trial_timeout": args.trial_timeout}
+    if args.trials:
+        kwargs["trials"] = args.trials
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    if args.progress:
+        trials = args.trials or \
+            inspect.signature(run_drill).parameters["trials"].default
+        kwargs["progress"] = CampaignProgress(
+            "drill", total_trials=trials, stream=sys.stderr)
+    report = run_drill(**kwargs)
+    print(report.summary())
+    if report.ok:
+        return 0
+    for violation in report.violations[:5]:
+        print(f"  ! {violation}")
+    if args.artifacts:
+        import json
+        import os
+
+        os.makedirs(args.artifacts, exist_ok=True)
+        path = os.path.join(args.artifacts, "drill-counterexamples.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({
+                "summary": report.summary(),
+                "remap_enabled": not args.break_remap,
+                "violations": report.violations,
+            }, handle, indent=2, sort_keys=True)
+        print(f"  counterexamples written to {path}")
     return 1
 
 
@@ -260,11 +379,9 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
 
     names = sorted(_FUZZERS) if args.target == "all" else [args.target]
     if args.cache_dir:
-        import os
-
-        if os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
-            print(f"error: --cache-dir {args.cache_dir!r} exists and is "
-                  f"not a directory", file=sys.stderr)
+        problem = _cache_dir_error(args.cache_dir)
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
             return 2
     status = 0
     for name in names:
@@ -301,11 +418,9 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
               f"{', '.join(sorted(SHAPES))} or 'all'", file=sys.stderr)
         return 2
     if args.cache_dir:
-        import os
-
-        if os.path.exists(args.cache_dir) and not os.path.isdir(args.cache_dir):
-            print(f"error: --cache-dir {args.cache_dir!r} exists and is "
-                  f"not a directory", file=sys.stderr)
+        problem = _cache_dir_error(args.cache_dir)
+        if problem is not None:
+            print(f"error: {problem}", file=sys.stderr)
             return 2
     kwargs = {"shape": args.shape, "jobs": args.jobs,
               "cache_dir": args.cache_dir}
@@ -389,7 +504,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         print(f"wrote {count:,} records ({args.workload}, thread 0) "
               f"to {args.out}")
         return 0
-    summary = trace_stats(args.path)
+    try:
+        summary = trace_stats(args.path)
+    except OSError as error:
+        print(f"error: cannot read trace {args.path!r} "
+              f"({error.strerror or error})", file=sys.stderr)
+        return 2
     for key, value in summary.items():
         if isinstance(value, float) and not value.is_integer():
             print(f"  {key:<18} {value:.3f}")

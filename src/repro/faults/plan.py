@@ -1,0 +1,151 @@
+"""Declarative, seeded fault plans for compound-fault drills.
+
+A :class:`FaultPlan` is the whole adversarial scenario for one drill in
+data form: a strictly increasing sequence of power-cut tick indices
+(global :class:`~repro.memory.port.FaultInjector` ticks, so later cuts
+land inside the recovery traffic the first cut provoked) plus a set of
+:class:`MediaFault` declarations the media-error interposer arms.
+
+Plans are frozen, picklable and JSON-renderable, so they ride the
+:mod:`repro.orchestrate` shard cache like any campaign parameter, and
+:func:`generate_plan` draws every choice from the injected
+``random.Random`` — a plan is a pure function of ``(rng, program)``
+exactly as litmus programs are of ``(rng, shape)``.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.litmus.ir import LitmusProgram, build_timeline, total_ticks
+
+__all__ = [
+    "STUCK",
+    "TRANSIENT",
+    "FaultPlan",
+    "MediaFault",
+    "generate_plan",
+]
+
+#: A transient media fault: one read of the line fails at the media and
+#: succeeds on the controller's retry (bit flip in flight, not in cell).
+TRANSIENT = "transient"
+#: A permanent stuck-at cell: every read needs ECC correction until the
+#: controller escalates and retires/remaps the unit.
+STUCK = "stuck"
+
+_KINDS = (STUCK, TRANSIENT)
+
+
+@dataclass(frozen=True)
+class MediaFault:
+    """One faulty media line and how it misbehaves.
+
+    ``escalate_after`` (stuck faults only) is how many corrected reads
+    the controller tolerates before escalating from detect→correct to
+    unit retirement; transients ignore it.
+    """
+
+    line: int
+    kind: str = STUCK
+    escalate_after: int = 1
+
+    def __post_init__(self) -> None:
+        if self.line < 0:
+            raise ValueError(f"negative fault line {self.line}")
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"unknown media-fault kind {self.kind!r}; "
+                f"have {', '.join(_KINDS)}")
+        if self.escalate_after < 0:
+            raise ValueError(
+                f"escalate_after must be >= 0, got {self.escalate_after}")
+
+    def render(self) -> str:
+        if self.kind == TRANSIENT:
+            return f"{self.kind}@L{self.line}"
+        suffix = "" if self.escalate_after == 1 \
+            else f"/esc{self.escalate_after}"
+        return f"{self.kind}@L{self.line}{suffix}"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A compound-fault scenario: power-cut schedule plus media faults.
+
+    ``cuts`` are global injector tick indices, strictly increasing.  The
+    first cut lands inside the program's own traffic; later cuts count
+    onward through whatever recovery traffic the drill issues, which is
+    how a cut is scheduled *inside* Go.  A cut index beyond all traffic
+    simply never fires (the drill disarms before its final observation).
+    """
+
+    name: str = "plan"
+    cuts: tuple[int, ...] = ()
+    media: tuple[MediaFault, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "cuts", tuple(self.cuts))
+        object.__setattr__(self, "media", tuple(self.media))
+        previous = -1
+        for cut in self.cuts:
+            if cut <= previous:
+                raise ValueError(
+                    f"cuts must be strictly increasing and >= 0, got "
+                    f"{self.cuts}")
+            previous = cut
+
+    def first_cut(self) -> int | None:
+        return self.cuts[0] if self.cuts else None
+
+    def truncated(self, name: str | None = None) -> "FaultPlan":
+        """The same scenario with only the first cut (idempotence probe)."""
+        return FaultPlan(name=name or f"{self.name}~1cut",
+                         cuts=self.cuts[:1], media=self.media)
+
+    def render(self) -> str:
+        cuts = ",".join(str(cut) for cut in self.cuts) or "-"
+        media = ",".join(fault.render() for fault in self.media) or "-"
+        return f"{self.name}[cuts={cuts}; media={media}]"
+
+
+def generate_plan(
+    rng: random.Random,
+    program: LitmusProgram,
+    *,
+    max_cuts: int = 3,
+    media_probability: float = 0.5,
+) -> FaultPlan:
+    """One seeded fault plan shaped to ``program``'s timeline.
+
+    The first cut always lands inside the program's tick space (so every
+    plan actually crashes, including inside an in-flight SNG_CUT
+    writeback — the torn-extent case); follow-on cuts are spaced by at
+    most one recovery window so they plausibly land on Go's probe read,
+    between ``power_cycle`` and the wear-register restore, or in the
+    recovery scrub.  Media faults are drawn from the observe set so the
+    final read-back actually exercises them.
+    """
+    ticks = total_ticks(build_timeline(program))
+    observe = program.observe_lines()
+    #: Go issues one BCB probe read plus one scrub read per observe line
+    #: (see repro.faults.drill) — the tick budget of one recovery pass.
+    recovery_window = 1 + len(observe)
+
+    count = 1
+    if max_cuts >= 2 and rng.random() < 0.6:
+        count += 1
+    if max_cuts >= 3 and rng.random() < 0.35:
+        count += 1
+    cuts = [rng.randrange(max(1, ticks))]
+    for _ in range(count - 1):
+        cuts.append(cuts[-1] + 1 + rng.randrange(recovery_window + 1))
+
+    media: list[MediaFault] = []
+    if rng.random() < media_probability:
+        wanted = 1 if len(observe) == 1 or rng.random() < 0.7 else 2
+        for line in sorted(rng.sample(observe, wanted)):
+            kind = STUCK if rng.random() < 0.6 else TRANSIENT
+            media.append(MediaFault(line, kind))
+    return FaultPlan(name="plan", cuts=tuple(cuts), media=tuple(media))

@@ -65,7 +65,15 @@ from repro.memory.request import (
 )
 from repro.ocpmem.psm import PSM, PSMConfig
 
-__all__ = ["EXECUTION_PATHS", "ProgramVerdict", "run_program"]
+__all__ = [
+    "EXECUTION_PATHS",
+    "DriveResult",
+    "ProgramVerdict",
+    "drive_program",
+    "litmus_backend",
+    "observe_state",
+    "run_program",
+]
 
 EXECUTION_PATHS = ("scalar", "batch", "extent")
 
@@ -92,6 +100,18 @@ def _make_inner(program: LitmusProgram) -> MemoryBackend:
     return AddressRangePartition(regions)
 
 
+def litmus_backend(program: LitmusProgram) -> MemoryBackend:
+    """A fresh functional backend of the litmus topology for ``program``.
+
+    Single-region programs get one frozen-wear functional PSM;
+    multi-region programs an :class:`AddressRangePartition` over one PSM
+    per region.  The compound-fault drills build their interposer chains
+    on top of exactly this topology so drill and litmus verdicts are
+    comparable.
+    """
+    return _make_inner(program)
+
+
 @dataclass
 class ProgramVerdict:
     """Everything one program's exhaustive enumeration established."""
@@ -112,18 +132,30 @@ class ProgramVerdict:
         return not self.violations and not self.divergences
 
 
-def _execute(program: LitmusProgram, path: str,
-             crash_at: Optional[int]) -> dict[int, tuple[int, bool]]:
-    """One run of ``program`` via ``path``, cut at ``crash_at`` ticks.
+@dataclass
+class DriveResult:
+    """What one drive of a program through a port established.
 
-    Returns the post-run observation: line -> (version byte, torn),
-    read back after ``power_fail`` + wear-register restore for crashed
-    runs, or directly for the run to completion (``crash_at=None``).
+    ``committed`` is the wear blob captured at the last SNG_CUT that
+    completed before any crash; ``crashed`` records whether an injector
+    tripped mid-drive (the exception is absorbed so the caller can run
+    its own recovery protocol — one-shot for litmus, the looping Go of
+    the compound-fault drills).
     """
-    port = FaultInjector(_make_inner(program), crash_at_op=crash_at,
-                         count_drains=True)
-    dirty = DirtyExtentMap(size=CACHELINE_BYTES)
+
     committed: Optional[bytes] = None
+    crashed: bool = False
+
+
+def drive_program(port, program: LitmusProgram, path: str) -> DriveResult:
+    """Issue ``program``'s port traffic through ``port`` via one lowering.
+
+    All three lowerings produce the identical injector tick sequence
+    (see the module docstring), so any injector armed on ``port`` trips
+    at the same global tick index regardless of ``path``.
+    """
+    dirty = DirtyExtentMap(size=CACHELINE_BYTES)
+    result = DriveResult()
     run: list[MemoryRequest] = []
     t = 0.0
 
@@ -138,7 +170,6 @@ def _execute(program: LitmusProgram, path: str,
             backend_access_batch(port, batched)
         t += 10.0
 
-    crashed = False
     try:
         for op in program.ops:
             if op.kind is OpKind.STORE:
@@ -180,17 +211,16 @@ def _execute(program: LitmusProgram, path: str,
                             port.access(MemoryRequest(
                                 MemoryOp.WRITE, address=address, time=t))
                 t = port.flush(t)
-                committed = port.capture_registers()
+                result.committed = port.capture_registers()
             # CHECKPOINT: marker only, no port traffic
         submit_run()
     except InjectedPowerFailure:
-        crashed = True
+        result.crashed = True
+    return result
 
-    if crashed:
-        port.power_fail()
-        if committed is not None:
-            port.restore_wear_registers(committed)
 
+def observe_state(port, program: LitmusProgram) -> dict[int, tuple[int, bool]]:
+    """Read back every observe line: line -> (version byte, torn)."""
     observed: dict[int, tuple[int, bool]] = {}
     for line in program.observe_lines():
         response = port.access(MemoryRequest(
@@ -201,6 +231,24 @@ def _execute(program: LitmusProgram, path: str,
         else:
             observed[line] = (data[0], len(set(data)) != 1)
     return observed
+
+
+def _execute(program: LitmusProgram, path: str,
+             crash_at: Optional[int]) -> dict[int, tuple[int, bool]]:
+    """One run of ``program`` via ``path``, cut at ``crash_at`` ticks.
+
+    Returns the post-run observation: line -> (version byte, torn),
+    read back after ``power_fail`` + wear-register restore for crashed
+    runs, or directly for the run to completion (``crash_at=None``).
+    """
+    port = FaultInjector(_make_inner(program), crash_at_op=crash_at,
+                         count_drains=True)
+    drive = drive_program(port, program, path)
+    if drive.crashed:
+        port.power_fail()
+        if drive.committed is not None:
+            port.restore_wear_registers(drive.committed)
+    return observe_state(port, program)
 
 
 def run_program(

@@ -44,6 +44,18 @@ class PersistencyModel:
     #: False the oracle wrongly demands crash states never expose an
     #: unflushed store
     stores_may_drain_early: bool = True
+    #: degraded media must stay *contained*: a worn/stuck line either
+    #: corrects, retires to a spare, or machine-checks — it never hands
+    #: the host corrupt bytes.  Torn observations are violations.  When
+    #: False the oracle wrongly accepts torn lines as a legal degraded
+    #: outcome, hiding broken remap/retirement paths.
+    media_errors_contained: bool = True
+    #: recovery must be idempotent: however many extra cuts land inside
+    #: Go, the recovered state is one the *first* cut already allowed.
+    #: When False the oracle wrongly widens a crash's allowed set to
+    #: every version ever stored in the prefix — nested-cut data loss
+    #: (a store regressing past its durability barrier) goes unseen.
+    recovery_is_idempotent: bool = True
 
 
 @dataclass
@@ -70,6 +82,7 @@ def allowed_after(
 ) -> dict[int, AllowedState]:
     """Fold an applied-event prefix into per-line allowed outcomes."""
     model = model or PersistencyModel()
+    events = list(events)
     states: dict[int, AllowedState] = {line: AllowedState() for line in lines}
 
     def barrier() -> None:
@@ -94,6 +107,16 @@ def allowed_after(
         # allowed set: a writeback only re-dirties a row buffer (its
         # data is already in the maybe-set) and commit is about wear
         # registers, not data.
+    if not model.recovery_is_idempotent:
+        # Wrong-loose recoverable-state rule: fold every version a line
+        # ever stored back into its maybe-set, as if repeated recovery
+        # could legally resurrect (or lose) barrier-committed data.
+        history: dict[int, set[int]] = {}
+        for event in events:
+            if event[0] == "store":
+                history.setdefault(event[1], set()).add(event[2])
+        for line, versions in history.items():
+            states.setdefault(line, AllowedState()).maybe.update(versions)
     return states
 
 
@@ -139,7 +162,10 @@ def check_observation(
         version, torn = observed[line]
         state = states.get(line, AllowedState())
         if torn:
-            bad.append((line, version, tuple(sorted(state.maybe)), True))
+            # A torn line is corrupt media reaching the host; only the
+            # (wrong-loose) uncontained-media rule excuses it.
+            if model.media_errors_contained:
+                bad.append((line, version, tuple(sorted(state.maybe)), True))
             continue
         if final:
             allowed = {state.latest}

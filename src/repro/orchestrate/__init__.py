@@ -28,7 +28,9 @@ from repro.orchestrate.runner import (
     Campaign,
     CampaignRunner,
     CampaignStats,
+    ShardTimeoutError,
     run_shard,
+    run_shard_watched,
 )
 from repro.orchestrate.seeding import derive_seed, spawn_rngs, trial_rng
 
@@ -39,9 +41,11 @@ __all__ = [
     "CampaignStats",
     "NO_VALUE",
     "ShardCache",
+    "ShardTimeoutError",
     "derive_seed",
     "fingerprint",
     "run_shard",
+    "run_shard_watched",
     "spawn_rngs",
     "trial_rng",
 ]

@@ -21,7 +21,14 @@ pickling — and is byte-identical to any parallel run, which
 from __future__ import annotations
 
 import os
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import queue as queue_module
+import traceback
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
@@ -29,7 +36,14 @@ from repro.orchestrate.cache import NO_VALUE, ShardCache, fingerprint
 from repro.orchestrate.progress import CampaignProgress
 from repro.orchestrate.seeding import trial_rng
 
-__all__ = ["Campaign", "CampaignRunner", "CampaignStats", "run_shard"]
+__all__ = [
+    "Campaign",
+    "CampaignRunner",
+    "CampaignStats",
+    "ShardTimeoutError",
+    "run_shard",
+    "run_shard_watched",
+]
 
 #: Default number of shards a campaign is cut into.  A function of the
 #: trial count only — never of ``jobs`` — so cache keys survive changes
@@ -95,6 +109,85 @@ def run_shard(campaign: Campaign, lo: int, hi: int) -> list:
     ]
 
 
+class ShardTimeoutError(RuntimeError):
+    """A trial exceeded its watchdog timeout twice; the campaign fails."""
+
+
+def _watchdog_worker(campaign: Campaign, lo: int, hi: int, out) -> None:
+    """Child-process body: stream per-trial results back as they land.
+
+    Results go back one at a time so the parent can put a deadline on
+    each: a hung trial shows up as silence on the queue, and everything
+    finished before it is already safely across.
+    """
+    try:
+        for index in range(lo, hi):
+            result = campaign.trial_fn(
+                index,
+                trial_rng(campaign.seed, index, namespace=campaign.name),
+                **campaign.params,
+            )
+            out.put(("ok", index, result))
+    except BaseException:
+        # Exceptions may not pickle; ship the traceback as text.
+        out.put(("error", -1, traceback.format_exc()))
+
+
+def run_shard_watched(campaign: Campaign, lo: int, hi: int,
+                      trial_timeout: float) -> list:
+    """Execute trials ``[lo, hi)`` under a per-trial watchdog.
+
+    Trials run in a child process that streams results back; a trial
+    silent for ``trial_timeout`` seconds is killed (with its process)
+    and retried exactly once in a fresh process.  Because every trial's
+    RNG is a pure function of ``(seed, index)``, the retry replays the
+    identical stream, so watched results are byte-identical to
+    :func:`run_shard` whenever the trials terminate.  A trial that
+    times out twice raises :class:`ShardTimeoutError`.
+    """
+    import multiprocessing
+
+    context = multiprocessing.get_context()
+    results: list = []
+    next_index = lo
+    retried: set[int] = set()
+    while next_index < hi:
+        channel = context.Queue()
+        worker = context.Process(
+            target=_watchdog_worker,
+            args=(campaign, next_index, hi, channel),
+            daemon=True,
+        )
+        worker.start()
+        hung = False
+        try:
+            while next_index < hi:
+                try:
+                    kind, _index, payload = channel.get(
+                        timeout=trial_timeout)
+                except queue_module.Empty:
+                    hung = True
+                    break
+                if kind == "error":
+                    raise RuntimeError(
+                        f"trial worker failed in shard [{lo}, {hi}):\n"
+                        f"{payload}")
+                results.append(payload)
+                next_index += 1
+        finally:
+            if worker.is_alive():
+                worker.terminate()
+            worker.join()
+            channel.close()
+        if hung:
+            if next_index in retried:
+                raise ShardTimeoutError(
+                    f"trial {next_index} exceeded {trial_timeout}s twice "
+                    f"(killed, retried once with the same derived seed)")
+            retried.add(next_index)
+    return results
+
+
 def _count_violations(results: Sequence[Any]) -> int:
     total = 0
     for result in results:
@@ -123,16 +216,22 @@ class CampaignRunner:
         shard_size: Optional[int] = None,
         target_shards: int = DEFAULT_TARGET_SHARDS,
         progress: Optional[CampaignProgress] = None,
+        trial_timeout: Optional[float] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if shard_size is not None and shard_size < 1:
             raise ValueError(f"shard_size must be >= 1, got {shard_size}")
+        if trial_timeout is not None and trial_timeout <= 0:
+            raise ValueError(
+                f"trial_timeout must be positive, got {trial_timeout}")
         self.jobs = jobs
         self.cache = ShardCache(cache_dir) if cache_dir else None
         self.shard_size = shard_size
         self.target_shards = max(1, target_shards)
         self.progress = progress
+        #: per-trial watchdog in seconds; None disables the watchdog
+        self.trial_timeout = trial_timeout
         self.last_stats = CampaignStats()
 
     # -- sharding ---------------------------------------------------------
@@ -193,11 +292,37 @@ class CampaignRunner:
                     continue
             pending.append(shard_index)
 
+        timeout = self.trial_timeout
         if self.jobs == 1 or len(pending) <= 1:
             for shard_index in pending:
                 lo, hi = shards[shard_index]
-                record(shard_index, run_shard(campaign, lo, hi), cached=False)
+                if timeout is None:
+                    shard_results = run_shard(campaign, lo, hi)
+                else:
+                    shard_results = run_shard_watched(campaign, lo, hi,
+                                                      timeout)
+                record(shard_index, shard_results, cached=False)
                 self._store(base, shards[shard_index], results[shard_index])
+        elif timeout is not None:
+            # Watchdogs need to spawn (and kill) child processes, which
+            # pool workers cannot safely do; parent threads each babysit
+            # one watched child process instead — same parallelism, and
+            # the deterministic merge is oblivious to the difference.
+            with ThreadPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(run_shard_watched, campaign,
+                                *shards[shard_index], timeout): shard_index
+                    for shard_index in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    done, outstanding = wait(outstanding,
+                                             return_when=FIRST_COMPLETED)
+                    for future in done:
+                        shard_index = futures[future]
+                        record(shard_index, future.result(), cached=False)
+                        self._store(base, shards[shard_index],
+                                    results[shard_index])
         else:
             with ProcessPoolExecutor(max_workers=self.jobs) as pool:
                 futures = {

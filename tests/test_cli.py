@@ -89,3 +89,69 @@ class TestCommands:
         assert main(["bench", "fig8", "--export", str(tmp_path)]) == 0
         assert (tmp_path / "fig8.json").exists()
         assert (tmp_path / "fig8.csv").exists()
+
+
+class TestErrorPaths:
+    """Bad inputs exit 2 with a one-line message, never a traceback."""
+
+    def test_trace_stats_missing_file(self, capsys):
+        assert main(["trace", "stats", "/nonexistent/trace.bin"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: cannot read trace")
+        assert err.count("\n") == 1
+
+    def test_cache_dir_is_a_file(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        assert main(["litmus", "--trials", "1",
+                     "--cache-dir", str(blocker)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_cache_dir_uncreatable_under_a_file(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        nested = blocker / "cache"
+        assert main(["drill", "--trials", "1",
+                     "--cache-dir", str(nested)]) == 2
+        assert "cannot be created" in capsys.readouterr().err
+
+    def test_fuzz_cache_dir_is_a_file(self, capsys, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("")
+        assert main(["fuzz", "psm", "--trials", "1",
+                     "--cache-dir", str(blocker)]) == 2
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_drill_unknown_shape(self, capsys):
+        assert main(["drill", "--trials", "1", "--shape", "bogus"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown litmus shape 'bogus'" in err
+        assert err.count("\n") == 1
+
+
+class TestDrillCampaign:
+    def test_clean_campaign(self, capsys):
+        assert main(["drill", "--trials", "3", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("drill:")
+        assert "-> OK" in out
+
+    def test_trial_timeout_flag_flows_through(self, capsys):
+        assert main(["drill", "--trials", "2", "--seed", "3",
+                     "--trial-timeout", "120"]) == 0
+        assert "-> OK" in capsys.readouterr().out
+
+    def test_broken_remap_detected_and_artifacts_written(self, capsys,
+                                                         tmp_path):
+        assert main(["drill", "--trials", "2", "--seed", "7",
+                     "--break-remap", "--artifacts", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "VIOLATIONS" in out
+        assert "(minimized)" in out
+        artifact = tmp_path / "drill-counterexamples.json"
+        assert artifact.exists()
+        import json
+
+        payload = json.loads(artifact.read_text())
+        assert payload["remap_enabled"] is False
+        assert payload["violations"]

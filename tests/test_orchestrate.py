@@ -14,7 +14,9 @@ promises are pinned here rather than trusted:
 
 import dataclasses
 import io
+import os
 import random
+import time
 
 import pytest
 
@@ -33,8 +35,11 @@ from repro.orchestrate import (
     CampaignProgress,
     CampaignRunner,
     ShardCache,
+    ShardTimeoutError,
     derive_seed,
     fingerprint,
+    run_shard,
+    run_shard_watched,
     trial_rng,
 )
 
@@ -42,6 +47,32 @@ from repro.orchestrate import (
 def counted_trial(trial, rng, scale=1):
     """A cheap trial with an observable RNG draw."""
     return (trial, rng.randrange(1_000_000) * scale)
+
+
+def flaky_trial(trial, rng, sentinel=None, hang_index=2):
+    """Hangs at ``hang_index`` on the first attempt only (marker file),
+    then returns exactly what ``counted_trial`` would."""
+    value = (trial, rng.randrange(1_000_000))
+    if trial == hang_index:
+        marker = f"{sentinel}.{trial}"
+        if not os.path.exists(marker):
+            with open(marker, "w"):
+                pass
+            time.sleep(60)
+    return value
+
+
+def hanging_trial(trial, rng, hang_index=1):
+    """Hangs at ``hang_index`` on every attempt."""
+    if trial == hang_index:
+        time.sleep(60)
+    return (trial, rng.randrange(1_000_000))
+
+
+def failing_trial(trial, rng):
+    if trial == 1:
+        raise ValueError("boom at trial 1")
+    return (trial, rng.randrange(1_000_000))
 
 
 def report_bytes(report: FuzzReport) -> bytes:
@@ -215,6 +246,54 @@ class TestRunnerShape:
             CampaignRunner(jobs=0)
         with pytest.raises(ValueError):
             CampaignRunner(shard_size=0)
+
+
+class TestWatchdog:
+    """Per-shard watchdog: hung trials are killed and retried once with
+    the same derived seed, so watched results are byte-identical to
+    unwatched ones whenever the trials terminate."""
+
+    def test_watched_equals_unwatched(self):
+        campaign = Campaign(name="count", trials=6, trial_fn=counted_trial,
+                            seed=4)
+        assert run_shard_watched(campaign, 0, 6, trial_timeout=30.0) == \
+            run_shard(campaign, 0, 6)
+
+    def test_hung_trial_killed_and_retried_with_same_seed(self, tmp_path):
+        sentinel = str(tmp_path / "attempt")
+        campaign = Campaign(name="count", trials=5, trial_fn=flaky_trial,
+                            seed=4, params={"sentinel": sentinel})
+        results = run_shard_watched(campaign, 0, 5, trial_timeout=1.5)
+        # the first attempt hung (its marker exists) ...
+        assert os.path.exists(f"{sentinel}.2")
+        # ... and the retry replayed the identical RNG stream
+        reference = Campaign(name="count", trials=5, trial_fn=counted_trial,
+                             seed=4)
+        assert results == run_shard(reference, 0, 5)
+
+    def test_twice_hung_trial_fails_the_shard(self):
+        campaign = Campaign(name="count", trials=3, trial_fn=hanging_trial,
+                            seed=4)
+        with pytest.raises(ShardTimeoutError, match="trial 1 .*twice"):
+            run_shard_watched(campaign, 0, 3, trial_timeout=0.8)
+
+    def test_worker_exception_propagates_with_traceback(self):
+        campaign = Campaign(name="count", trials=3, trial_fn=failing_trial,
+                            seed=4)
+        with pytest.raises(RuntimeError, match="boom at trial 1"):
+            run_shard_watched(campaign, 0, 3, trial_timeout=30.0)
+
+    def test_runner_timeout_parallel_matches_serial(self):
+        campaign = Campaign(name="count", trials=12, trial_fn=counted_trial,
+                            seed=9)
+        plain = CampaignRunner(jobs=1, shard_size=3).run(campaign)
+        watched = CampaignRunner(jobs=2, shard_size=3,
+                                 trial_timeout=30.0).run(campaign)
+        assert plain == watched
+
+    def test_invalid_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignRunner(trial_timeout=0)
 
 
 class TestProgress:
