@@ -1,0 +1,150 @@
+"""Throughput gate for the epoch-analytical execution engine.
+
+Drains one Table II-calibrated trace (a single core over a fresh PSM,
+the single-survivor shape :meth:`MultiCoreComplex.run_traces` hands the
+engine layer) twice — once through the exact windowed
+:class:`~repro.engine.extent.ExtentEngine` and once through
+:class:`~repro.engine.epoch.EpochEngine` — and reports references/sec
+for both.  The epoch engine's win comes from never *generating* the
+records inside a settled steady-state phase, so the trace scale has to
+be paper-shaped (hundreds of thousands to millions of references)
+before the calibrate/probe overhead amortizes::
+
+    python benchmarks/bench_epoch.py --quick --min-speedup 10
+
+writes ``BENCH_epoch.json`` and exits non-zero if the drain speedup
+falls below the gate (the CI epoch-smoke job runs exactly that).  The
+analytical settlement is an estimate, so alongside the timing gate the
+bench records the simulated-clock and instruction-count relative error
+against the exact drain (the equivalence suite pins the forced-boundary
+configuration to byte-identity; this reports how far the *fast*
+configuration drifts at full speed).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    from repro.cpu.core import Core
+except ModuleNotFoundError:  # pragma: no cover - PYTHONPATH already set
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.cpu.core import Core
+
+from repro.engine.epoch import EpochEngine
+from repro.engine.extent import ExtentEngine
+from repro.ocpmem.psm import PSM
+from repro.workloads import load_workload
+
+
+def _drain(engine, trace) -> tuple[float, Core]:
+    """Seconds to drain ``trace`` through ``engine`` on a fresh core."""
+    core = Core(0, PSM(), engine=engine)
+    begin = getattr(engine, "begin_run", None)
+    if begin is not None:
+        begin()
+    start = time.perf_counter()
+    engine.drain(core, iter(trace), source=trace)
+    return time.perf_counter() - start, core
+
+
+def run(workload: str, refs: int, window: int, repeats: int,
+        tolerance: float) -> dict:
+    trace = load_workload(workload, refs=refs).traces()[0]
+
+    exact_s = None
+    exact_core = None
+    for _ in range(repeats):
+        elapsed, core = _drain(ExtentEngine(window=window), trace)
+        if exact_s is None or elapsed < exact_s:
+            exact_s, exact_core = elapsed, core
+
+    epoch_s = None
+    epoch_core = None
+    report = None
+    for _ in range(repeats):
+        engine = EpochEngine(window=window, tolerance=tolerance)
+        elapsed, core = _drain(engine, trace)
+        if epoch_s is None or elapsed < epoch_s:
+            epoch_s, epoch_core = elapsed, core
+            report = engine.take_run_report()
+
+    def rel_error(fast: float, exact: float) -> float:
+        return abs(fast - exact) / exact if exact else 0.0
+
+    return {
+        "workload": workload,
+        "refs": refs,
+        "window": window,
+        "repeats": repeats,
+        "tolerance": tolerance,
+        "exact_s": exact_s,
+        "epoch_s": epoch_s,
+        "exact_rps": refs / exact_s,
+        "epoch_rps": refs / epoch_s,
+        "speedup": exact_s / epoch_s,
+        "epoch": report.as_dict() if report is not None else None,
+        "accuracy": {
+            "wall_ns_rel_error": rel_error(epoch_core.now, exact_core.now),
+            "instructions_rel_error": rel_error(
+                epoch_core.stats.instructions,
+                exact_core.stats.instructions),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter trace, single repeat (CI smoke)")
+    parser.add_argument("--workload", default="mcf",
+                        help="Table II workload to replay (default mcf)")
+    parser.add_argument("--refs", type=int, default=None,
+                        help="trace references (default 400000 quick, "
+                             "2000000 full)")
+    parser.add_argument("--window", type=int, default=4096,
+                        help="drain window size (default 4096)")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="phase-stability tolerance (default 0.15)")
+    parser.add_argument("--out", default="BENCH_epoch.json",
+                        help="result file (default BENCH_epoch.json)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit 1 if the drain speedup is below this")
+    args = parser.parse_args(argv)
+
+    refs = args.refs or (400_000 if args.quick else 2_000_000)
+    repeats = 1 if args.quick else 3
+    results = run(args.workload, refs, args.window, repeats, args.tolerance)
+
+    print(f"{args.workload} x {refs:,} refs, window {args.window}")
+    print(f"{'engine':<8} {'seconds':>9} {'refs/s':>14}")
+    print(f"{'extent':<8} {results['exact_s']:>9.3f} "
+          f"{results['exact_rps']:>14,.0f}")
+    print(f"{'epoch':<8} {results['epoch_s']:>9.3f} "
+          f"{results['epoch_rps']:>14,.0f}")
+    epoch = results["epoch"] or {}
+    print(f"speedup {results['speedup']:.2f}x "
+          f"({epoch.get('windows_skipped', 0)} windows skipped, "
+          f"{epoch.get('windows_exact', 0)} exact, "
+          f"{epoch.get('boundaries', 0)} boundaries)")
+    accuracy = results["accuracy"]
+    print(f"drift: wall {accuracy['wall_ns_rel_error']:.4%}, "
+          f"instructions {accuracy['instructions_rel_error']:.4%}")
+
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None and \
+            results["speedup"] < args.min_speedup:
+        print(f"FAIL: epoch speedup {results['speedup']:.2f}x below gate "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

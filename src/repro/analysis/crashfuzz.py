@@ -256,12 +256,14 @@ def sector_trial(trial: int, rng: random.Random,
 
 
 def machine_trial(trial: int, rng: random.Random,
-                  psu: PSUModel = ATX_PSU) -> TrialOutcome:
+                  psu: PSUModel = ATX_PSU,
+                  engine: Optional[str] = None) -> TrialOutcome:
     """One whole-platform power-fail/recover cycle at a random run length."""
     outcome = TrialOutcome()
     refs = rng.randrange(1_000, 6_000)
     workload = load_workload("aes", refs=refs, seed=trial)
-    machine = Machine.for_workload("lightpc", workload, functional=True)
+    machine = Machine.for_workload("lightpc", workload, functional=True,
+                                   engine=engine)
     machine.run(workload)
     outcome.operations += refs
     fail = machine.power_fail(psu)
@@ -310,10 +312,21 @@ def fuzz_sector(trials: int = 12, writes: int = 30, seed: int = 2, *,
 
 
 def fuzz_machine(trials: int = 4, seed: int = 3, psu: PSUModel = ATX_PSU, *,
+                 engine: Optional[str] = None,
                  jobs: int = 1, cache_dir=None,
                  progress: Optional[CampaignProgress] = None) -> FuzzReport:
-    """Whole-platform power-fail/recover cycles at random run lengths."""
-    return _run_campaign("machine", machine_trial, trials, seed, {"psu": psu},
+    """Whole-platform power-fail/recover cycles at random run lengths.
+
+    ``engine`` selects the execution engine the fuzzed machines run
+    through (registry name); it joins the campaign fingerprint so
+    cached shards never alias across engines.
+    """
+    params: dict = {"psu": psu}
+    if engine is not None:
+        from repro.engine.base import canonical_engine_name
+
+        params["engine"] = canonical_engine_name(engine)
+    return _run_campaign("machine", machine_trial, trials, seed, params,
                          jobs, cache_dir, progress)
 
 

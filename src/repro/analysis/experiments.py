@@ -19,6 +19,7 @@ from functools import lru_cache
 from typing import Optional, Sequence
 
 from repro.core.config import ClockDomain, PlatformConfig, TABLE1
+from repro.engine.base import canonical_engine_name
 from repro.core.machine import Machine
 from repro.core.results import RunResult
 from repro.cpu.complex import MultiCoreComplex
@@ -111,30 +112,35 @@ _MATRIX_PLATFORMS = ("legacy", "lightpc_b", "lightpc")
 
 def _matrix_trial(
     trial: int, rng, names: tuple[str, ...] = (), refs: int = 24_000,
-    seed: int = 42,
+    seed: int = 42, engine: Optional[str] = None,
 ) -> tuple[tuple[str, str], RunResult]:
     """One (workload, platform) cell of the matrix (deterministic)."""
     name = names[trial // len(_MATRIX_PLATFORMS)]
     platform = _MATRIX_PLATFORMS[trial % len(_MATRIX_PLATFORMS)]
     workload = load_workload(name, refs=refs, seed=seed)
-    machine = Machine.for_workload(platform, workload)
+    machine = Machine.for_workload(platform, workload, engine=engine)
     return (name, platform), machine.run(workload)
 
 
 @lru_cache(maxsize=8)
 def _matrix_cached(
     names: tuple[str, ...], refs: int, seed: int, jobs: int = 1,
-    cache_dir: Optional[str] = None,
+    cache_dir: Optional[str] = None, engine: Optional[str] = None,
 ) -> dict[tuple[str, str], RunResult]:
     from repro.orchestrate import Campaign, CampaignRunner
 
     runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir)
+    params: dict = {"names": names, "refs": refs, "seed": seed}
+    if engine is not None:
+        # Joins the campaign fingerprint: cells simulated under one
+        # engine must never reload from another engine's shard cache.
+        params["engine"] = engine
     cells = runner.run(Campaign(
         name="platform_matrix",
         trials=len(names) * len(_MATRIX_PLATFORMS),
         trial_fn=_matrix_trial,
         seed=seed,
-        params={"names": names, "refs": refs, "seed": seed},
+        params=params,
     ))
     return dict(cells)
 
@@ -145,6 +151,7 @@ def platform_matrix(
     seed: int = 42,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> dict[tuple[str, str], RunResult]:
     """Run every workload on all three platforms (cached per argument set).
 
@@ -153,10 +160,13 @@ def platform_matrix(
     deterministic trial, so results match the serial run exactly at any
     parallelism.  ``cache_dir`` enables the runner's on-disk shard cache,
     so repeated sweeps over the same argument set reload instead of
-    re-simulating.
+    re-simulating.  ``engine`` selects the execution engine every cell
+    runs through (registry name; ``None`` keeps the exact default).
     """
     names = tuple(workloads) if workloads is not None else tuple(WORKLOAD_SPECS)
-    return _matrix_cached(names, refs, seed, jobs, cache_dir)
+    if engine is not None:
+        engine = canonical_engine_name(engine)
+    return _matrix_cached(names, refs, seed, jobs, cache_dir, engine)
 
 
 def stats_tree(
@@ -164,6 +174,7 @@ def stats_tree(
     workload: str = "aes",
     refs: int = 8_000,
     seed: int = 42,
+    engine: Optional[str] = None,
 ) -> dict:
     """One machine's hierarchical stats registry after a workload run.
 
@@ -175,7 +186,7 @@ def stats_tree(
     the ``stats`` CLI subcommand.
     """
     loaded = load_workload(workload, refs=refs, seed=seed)
-    machine = Machine.for_workload(platform, loaded)
+    machine = Machine.for_workload(platform, loaded, engine=engine)
     machine.run(loaded)
     return machine.stats_tree()
 
@@ -803,9 +814,10 @@ def figure20(
     seed: int = 42,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     results = platform_matrix((workload,), refs, seed=seed, jobs=jobs,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir, engine=engine)
     profiles = _profiles(results, refs)[workload]
     sng = _sng_mechanism()
     flushes = {
@@ -850,6 +862,7 @@ def figure21(
     seed: int = 42,
     jobs: int = 1,
     cache_dir: Optional[str] = None,
+    engine: Optional[str] = None,
 ) -> ExperimentResult:
     """Phase timeline around one power cycle: IPC and watts per phase.
 
@@ -858,7 +871,7 @@ def figure21(
     flush -> off -> recover -> execute) from the measured models.
     """
     results = platform_matrix((workload,), refs, seed=seed, jobs=jobs,
-                              cache_dir=cache_dir)
+                              cache_dir=cache_dir, engine=engine)
     profiles = _profiles(results, refs)[workload]
     clock = ClockDomain()
     sng = _sng_mechanism()

@@ -80,6 +80,23 @@ def _positive_float(text: str) -> float:
     return value
 
 
+def _canonical_engine(name: str) -> Optional[str]:
+    """Canonical engine name, or None after the one-line exit-2 message."""
+    from repro.engine.base import canonical_engine_name
+
+    try:
+        return canonical_engine_name(name)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def _add_engine_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", default=None, metavar="NAME",
+                        help="execution engine (scalar, window, extent, "
+                             "epoch; default: extent)")
+
+
 def _cache_dir_error(path: str) -> Optional[str]:
     """One-line reason a --cache-dir is unusable, or None if it is fine.
 
@@ -119,6 +136,7 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=("legacy", "lightpc_b", "lightpc"))
     run.add_argument("--refs", type=int, default=20_000,
                      help="trace references (default 20000)")
+    _add_engine_argument(run)
 
     drill = sub.add_parser(
         "drill",
@@ -156,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-trial watchdog: a hung trial is killed "
                             "and retried once with the same derived seed "
                             "before the campaign fails")
+    _add_engine_argument(drill)
     drill.add_argument("--break-remap", action="store_true",
                        help="disable retired-unit remap (the deliberately "
                             "broken degradation rule) to prove the oracle "
@@ -187,6 +206,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--progress", action="store_true",
                       help="print trials/sec, ETA and violation counts "
                            "to stderr as the campaign runs")
+    _add_engine_argument(fuzz)
 
     litmus = sub.add_parser(
         "litmus",
@@ -213,6 +233,7 @@ def build_parser() -> argparse.ArgumentParser:
     litmus.add_argument("--artifacts", metavar="DIR", default=None,
                         help="on violation, write counterexample traces "
                              "as JSON under DIR (CI uploads these)")
+    _add_engine_argument(litmus)
 
     tree = sub.add_parser("stats",
                           help="run a workload, dump the machine's "
@@ -224,6 +245,7 @@ def build_parser() -> argparse.ArgumentParser:
     tree.add_argument("--refs", type=int, default=8_000)
     tree.add_argument("--json", action="store_true",
                       help="emit the tree as JSON instead of an outline")
+    _add_engine_argument(tree)
 
     profile = sub.add_parser(
         "profile",
@@ -238,6 +260,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--out", metavar="FILE", default=None,
                          help="also dump raw pstats data to FILE "
                               "(inspect with snakeviz/pstats)")
+    _add_engine_argument(profile)
 
     trace = sub.add_parser("trace", help="export or summarize trace files")
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
@@ -253,10 +276,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    engine = None
+    if args.engine is not None:
+        engine = _canonical_engine(args.engine)
+        if engine is None:
+            return 2
     workload = load_workload(args.workload, refs=args.refs)
-    machine = Machine.for_workload(args.platform, workload)
+    machine = Machine.for_workload(args.platform, workload, engine=engine)
     result = machine.run(workload)
-    print(f"{args.workload} on {args.platform}: "
+    print(f"{args.workload} on {args.platform} ({result.engine} engine): "
           f"{result.wall_ns / 1e6:.3f} ms, IPC {result.ipc:.2f}, "
           f"{result.total_w:.1f} W, {result.energy_j * 1e3:.2f} mJ")
     print(f"  D$ read hit {result.cache_read_hit:.1%}, "
@@ -265,10 +293,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_drill(args: argparse.Namespace) -> int:
+    engine = None
+    if args.engine is not None:
+        engine = _canonical_engine(args.engine)
+        if engine is None:
+            return 2
     if args.trials is not None:
-        return _cmd_drill_campaign(args)
+        return _cmd_drill_campaign(args, engine)
     workload = load_workload(args.workload, refs=args.refs)
-    machine = Machine.for_workload("lightpc", workload)
+    machine = Machine.for_workload("lightpc", workload, engine=engine)
     machine.run(workload)
     outcome = machine.power_fail(_PSUS[args.psu])
     stop = outcome.stop
@@ -285,7 +318,8 @@ def _cmd_drill(args: argparse.Namespace) -> int:
     return 1
 
 
-def _cmd_drill_campaign(args: argparse.Namespace) -> int:
+def _cmd_drill_campaign(args: argparse.Namespace,
+                        engine: Optional[str] = None) -> int:
     import inspect
 
     from repro.faults import run_drill
@@ -305,6 +339,8 @@ def _cmd_drill_campaign(args: argparse.Namespace) -> int:
               "cache_dir": args.cache_dir,
               "remap_enabled": not args.break_remap,
               "trial_timeout": args.trial_timeout}
+    if engine is not None:
+        kwargs["engine"] = engine
     if args.trials:
         kwargs["trials"] = args.trials
     if args.seed is not None:
@@ -375,9 +411,22 @@ def _cmd_characterize(args: argparse.Namespace) -> int:
 
 
 def _cmd_fuzz(args: argparse.Namespace) -> int:
+    import inspect
+
     from repro.orchestrate import CampaignProgress
 
     names = sorted(_FUZZERS) if args.target == "all" else [args.target]
+    engine = None
+    if args.engine is not None:
+        engine = _canonical_engine(args.engine)
+        if engine is None:
+            return 2
+        if args.target != "all" and "engine" not in \
+                inspect.signature(_FUZZERS[args.target]).parameters:
+            print(f"error: fuzz target {args.target!r} does not execute "
+                  f"workloads through an engine; --engine applies to "
+                  f"'machine'", file=sys.stderr)
+            return 2
     if args.cache_dir:
         problem = _cache_dir_error(args.cache_dir)
         if problem is not None:
@@ -387,13 +436,16 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     for name in names:
         fuzzer = _FUZZERS[name]
         kwargs = {"jobs": args.jobs, "cache_dir": args.cache_dir}
+        # Only the machine fuzzer executes workloads through an engine;
+        # the structural fuzzers silently ignore the flag on `all`.
+        if engine is not None and \
+                "engine" in inspect.signature(fuzzer).parameters:
+            kwargs["engine"] = engine
         if args.trials:
             kwargs["trials"] = args.trials
         if args.seed is not None:
             kwargs["seed"] = args.seed
         if args.progress:
-            import inspect
-
             trials = args.trials or \
                 inspect.signature(fuzzer).parameters["trials"].default
             kwargs["progress"] = CampaignProgress(
@@ -424,6 +476,11 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
             return 2
     kwargs = {"shape": args.shape, "jobs": args.jobs,
               "cache_dir": args.cache_dir}
+    if args.engine is not None:
+        engine = _canonical_engine(args.engine)
+        if engine is None:
+            return 2
+        kwargs["engine"] = engine
     if args.trials:
         kwargs["trials"] = args.trials
     if args.seed is not None:
@@ -457,8 +514,14 @@ def _cmd_litmus(args: argparse.Namespace) -> int:
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.analysis.experiments import stats_tree
 
+    engine = None
+    if args.engine is not None:
+        engine = _canonical_engine(args.engine)
+        if engine is None:
+            return 2
     tree = stats_tree(
-        platform=args.platform, workload=args.workload, refs=args.refs
+        platform=args.platform, workload=args.workload, refs=args.refs,
+        engine=engine,
     )
     if args.json:
         import json
@@ -481,13 +544,27 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import cProfile
     import pstats
 
+    from repro.engine.base import default_engine_name, set_default_engine
+
+    engine = None
+    if args.engine is not None:
+        engine = _canonical_engine(args.engine)
+        if engine is None:
+            return 2
     experiment = _EXPERIMENTS[args.experiment]
     profiler = cProfile.Profile()
+    # The experiment table is closed over defaults, so the engine choice
+    # rides the process-wide default for the duration of the profile.
+    previous = set_default_engine(engine) if engine is not None else None
+    print(f"profiling {args.experiment} with the "
+          f"{engine or default_engine_name()} engine")
     profiler.enable()
     try:
         experiment()
     finally:
         profiler.disable()
+        if previous is not None:
+            set_default_engine(previous)
     stats = pstats.Stats(profiler, stream=sys.stdout)
     if args.out:
         stats.dump_stats(args.out)

@@ -21,6 +21,7 @@ from typing import Callable, Optional
 from repro.core.config import PlatformConfig, PlatformName
 from repro.core.results import PowerFailOutcome, RunResult
 from repro.cpu.complex import MultiCoreComplex
+from repro.engine.base import EngineSpec, ExecutionEngine, resolve_engine
 from repro.memory.dram import DRAMSubsystem
 from repro.memory.port import MemoryBackend, assert_memory_backend
 from repro.ocpmem.psm import PSM
@@ -79,6 +80,7 @@ class Machine:
         platform: PlatformName,
         config: Optional[PlatformConfig] = None,
         functional: bool = False,
+        engine: EngineSpec = None,
     ) -> None:
         factory = _BACKEND_FACTORIES.get(platform)
         if factory is None:
@@ -89,13 +91,15 @@ class Machine:
         self.platform = platform
         self.config = config or PlatformConfig()
         self.power_model = PowerModel()
+        self.engine: ExecutionEngine = resolve_engine(engine)
 
         backend = factory(self.config, functional)
         assert_memory_backend(backend, context=f"platform {platform!r}")
         self.backend: MemoryBackend = backend
         self.stats = StatsRegistry()
         self.complex = MultiCoreComplex(
-            self.backend, cores=self.config.cores, core_config=self.config.core
+            self.backend, cores=self.config.cores,
+            core_config=self.config.core, engine=self.engine,
         )
         self._register_stats()
         self.kernel = Kernel(self.config.kernel)
@@ -119,13 +123,15 @@ class Machine:
         workload: Workload,
         config: Optional[PlatformConfig] = None,
         functional: bool = False,
+        engine: EngineSpec = None,
     ) -> "Machine":
         """Build a machine whose memory fits the workload (no paging)."""
         base = config or PlatformConfig()
         footprint = (
             workload.spec.profile.working_set_lines * 64 * workload.threads
         )
-        return cls(platform, base.sized_for(footprint * 2), functional)
+        return cls(platform, base.sized_for(footprint * 2), functional,
+                   engine=engine)
 
     # -- backend wiring ----------------------------------------------------
 
@@ -140,7 +146,8 @@ class Machine:
         )
         self.backend = backend
         self.complex = MultiCoreComplex(
-            backend, cores=self.config.cores, core_config=self.config.core
+            backend, cores=self.config.cores, core_config=self.config.core,
+            engine=self.engine,
         )
         self.stats.drop()
         self._register_stats()
@@ -166,10 +173,27 @@ class Machine:
 
     # -- execution --------------------------------------------------------------
 
-    def run(self, workload: Workload, refs: Optional[int] = None) -> RunResult:
-        """Execute one workload to completion and meter it."""
+    def set_engine(self, engine: EngineSpec) -> ExecutionEngine:
+        """Select the execution engine for subsequent runs (by registry
+        name, alias, or instance); returns the resolved engine."""
+        self.engine = self.complex.set_engine(engine)
+        return self.engine
+
+    def run(
+        self,
+        workload: Workload,
+        refs: Optional[int] = None,
+        engine: EngineSpec = None,
+    ) -> RunResult:
+        """Execute one workload to completion and meter it.
+
+        ``engine`` switches the execution engine for this and later
+        runs; ``None`` keeps the machine's current selection.
+        """
         if not self._powered:
             raise RuntimeError("machine is powered off; recover() first")
+        if engine is not None:
+            self.set_engine(engine)
         traces = workload.traces(refs)
         if self.config.kernel_noise:
             total = refs if refs is not None else workload.refs
@@ -184,18 +208,41 @@ class Machine:
                     base_address=base + i * (1 << 20),
                 )
                 traces = list(traces) + [_Replay(generator, noise_refs)]
+        begin_run = getattr(self.engine, "begin_run", None)
+        if begin_run is not None:
+            begin_run()
         complex_result = self.complex.run_traces(traces)
+        # Engines that advance epochs analytically report the estimated
+        # backend-counter deltas for the traffic they never issued; fold
+        # them in so the power model meters the whole run, not just the
+        # exactly-replayed windows.
+        take_report = getattr(self.engine, "take_run_report", None)
+        report = take_report() if take_report is not None else None
+        counters = dict(self.backend.counters())
+        epoch_dict: Optional[dict] = None
+        if report is not None:
+            if report.windows_skipped:
+                for key, value in report.counter_deltas.items():
+                    base = counters.get(key, 0)
+                    counters[key] = base + (
+                        int(round(value)) if isinstance(base, int) else value
+                    )
+            epoch_dict = report.as_dict()
         result = RunResult(
             platform=self.platform,
             workload=workload.name,
             complex_result=complex_result,
-            power=self.power_report(complex_result.wall_ns),
-            backend_counters=dict(self.backend.counters()),
+            power=self.power_report(
+                complex_result.wall_ns, counters_override=counters
+            ),
+            backend_counters=counters,
             mean_read_latency_ns=self._mean_read_latency(),
             cache_read_hit=self._mean_cache_ratio(read=True),
             cache_write_hit=self._mean_cache_ratio(read=False),
             row_buffer_hit=self.backend.buffer_hit_ratio,
             stats=self.stats.snapshot(),
+            engine=self.engine.name,
+            epoch=epoch_dict,
         )
         self.runs.append(result)
         return result
@@ -291,9 +338,18 @@ class Machine:
 class _Replay:
     """Re-iterable wrapper over a deterministic trace generator."""
 
+    #: drawn from one fixed locality profile — statistically stationary,
+    #: so the epoch engine may advance it analytically
+    stationary = True
+
     def __init__(self, generator: TraceGenerator, count: int) -> None:
         self._generator = generator
         self._count = count
+
+    @property
+    def count(self) -> int:
+        """Record count — the engine layer's trace length hint."""
+        return self._count
 
     def __iter__(self):
         return self._generator.records(self._count)

@@ -28,6 +28,11 @@ class RunResult:
     row_buffer_hit: float = 0.0
     #: hierarchical stats-registry snapshot taken at the end of the run
     stats: dict = field(default_factory=dict)
+    #: execution engine the run was driven through (registry name)
+    engine: str = "extent"
+    #: epoch-engine acceleration report (``EpochReport.as_dict()``), or
+    #: ``None`` when the run replayed exactly
+    epoch: Optional[dict] = None
 
     @property
     def wall_ns(self) -> float:

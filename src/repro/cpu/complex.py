@@ -9,11 +9,11 @@ OC-PMEM conflict experiments depend on.
 from __future__ import annotations
 
 import heapq
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.cpu.core import Core, CoreConfig, CoreStats
+from repro.engine.base import EngineSpec, ExecutionEngine, resolve_engine
 from repro.memory.port import MemoryBackend
 from repro.pmem.modes import SoftwareOverhead
 from repro.sim.stats import StatsRegistry
@@ -67,15 +67,25 @@ class MultiCoreComplex:
         cores: int = 8,
         core_config: Optional[CoreConfig] = None,
         overhead: Optional[SoftwareOverhead] = None,
+        engine: EngineSpec = None,
     ) -> None:
         if cores <= 0:
             raise ValueError("need at least one core")
         self.backend = backend
         self.core_config = core_config or CoreConfig()
+        self.engine = resolve_engine(engine)
         self.cores = [
-            Core(i, backend, self.core_config, overhead) for i in range(cores)
+            Core(i, backend, self.core_config, overhead, engine=self.engine)
+            for i in range(cores)
         ]
         self._ipi_handlers: dict[int, Callable[[int, object], None]] = {}
+
+    def set_engine(self, engine: EngineSpec) -> ExecutionEngine:
+        """Repoint every core at ``engine``; returns the resolved engine."""
+        self.engine = resolve_engine(engine)
+        for core in self.cores:
+            core.engine = self.engine
+        return self.engine
 
     # -- workload execution ------------------------------------------------------
 
@@ -96,6 +106,7 @@ class MultiCoreComplex:
             iterators.append((core, thread_id, iter(trace)))
         for core in self.cores:
             core.now = start_ns
+        consumed = [0] * len(iterators)
 
         # (core-local time, sequence) heap keyed on the owning core's clock.
         heap: list[tuple[float, int]] = [
@@ -105,22 +116,23 @@ class MultiCoreComplex:
         while heap:
             if len(heap) == 1:
                 # Single survivor: no cross-core ordering left to respect,
-                # so drain the remaining trace in windows through the
-                # core's batched execution loop (identical accounting,
-                # amortized dispatch).
+                # so hand the tail to the execution engine — the exact
+                # engines drain it in batched windows (identical
+                # accounting, amortized dispatch); the epoch engine may
+                # additionally skip steady-state windows analytically.
                 _, idx = heap[0]
                 core, thread_id, records = iterators[idx]
-                while True:
-                    window = list(itertools.islice(records, 4096))
-                    if not window:
-                        break
-                    core.execute_window(window, thread_id)
+                core.engine.drain(
+                    core, records, thread_id,
+                    source=traces[idx], consumed=consumed[idx],
+                )
                 break
             _, idx = heapq.heappop(heap)
             core, thread_id, records = iterators[idx]
             record = next(records, None)
             if record is None:
                 continue
+            consumed[idx] += 1
             core.execute(
                 record.instructions, record.address, record.is_write, thread_id
             )

@@ -21,12 +21,8 @@ from dataclasses import asdict, dataclass
 from typing import Optional
 
 from repro.cpu.cache import Cache, CacheConfig
-from repro.memory.batch import RequestWindow, backend_access_batch
-from repro.memory.extent import (
-    FlushReport,
-    backend_flush_extents,
-    coalesce_lines,
-)
+from repro.engine.base import EngineSpec, resolve_engine
+from repro.memory.extent import FlushReport
 from repro.memory.port import MemoryBackend
 from repro.memory.request import MemoryOp, RequestPool
 from repro.pmem.modes import SoftwareOverhead
@@ -98,11 +94,15 @@ class Core:
         backend: MemoryBackend,
         config: Optional[CoreConfig] = None,
         overhead: Optional[SoftwareOverhead] = None,
+        engine: EngineSpec = None,
     ) -> None:
         self.core_id = core_id
         self.config = config or CoreConfig()
         self.backend = backend
         self.overhead = overhead or SoftwareOverhead()
+        #: how this core drains traces and dumps its cache — see
+        #: :mod:`repro.engine`; ``None`` selects the process default
+        self.engine = resolve_engine(engine)
         self.cache = Cache(self.config.cache, name=f"core{core_id}.d$")
         self.stats = CoreStats()
         self.now = 0.0
@@ -347,16 +347,13 @@ class Core:
             self.stats.software_ns += ns
 
     def flush_cache(self) -> tuple[int, list[int]]:
-        """Dump the D$: write back all dirty lines; returns (count, addrs)."""
-        dirty = self.cache.flush_dirty()
-        if dirty:
-            # All write-backs issue at the same clock and coalesce into
-            # sorted extents — the homogeneous shape the backend's
-            # closed-form flush path drains analytically.
-            self.last_flush_report = backend_flush_extents(
-                self.backend, coalesce_lines(dirty), self.now
-            )
-        return len(dirty), dirty
+        """Dump the D$: write back all dirty lines; returns (count, addrs).
+
+        How the write-backs reach the port (scalar loop, one request
+        window, closed-form extent flush) is the engine's choice — the
+        cut semantics (all lines, one clock) are not.
+        """
+        return self.engine.flush_cache(self)
 
     def register_stats(self, stats: StatsRegistry) -> None:
         """Publish execution counters and the D$ under this scope."""

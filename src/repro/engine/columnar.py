@@ -1,0 +1,191 @@
+"""Columnar epoch-summarization kernels (numpy-accelerated).
+
+The epoch engine decides whether a trace window belongs to the current
+steady-state phase from a compact :class:`WindowSignature` — R/W mix,
+compute density, unique-line pressure and row locality.  The request
+and response window structs are already columnar (parallel lists), so
+the kernels here vectorize straight over the columns when numpy is
+importable and fall back to pure-python reductions when it is not; the
+two paths are required (and tested) to agree exactly on counts and to
+float precision on the derived fractions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+try:  # pragma: no cover - exercised via both branches in the unit suite
+    import numpy as _np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    _np = None
+    HAVE_NUMPY = False
+
+from repro.memory.request import CACHELINE_BYTES
+
+__all__ = [
+    "HAVE_NUMPY",
+    "ResponseSummary",
+    "WindowSignature",
+    "signature_of_columns",
+    "signature_of_records",
+    "signature_of_window",
+    "summarize_responses",
+]
+
+#: DRAM/PSM row granularity assumed by the locality column (2 KiB).
+_ROW_BYTES = 2048
+
+
+@dataclass(frozen=True)
+class WindowSignature:
+    """Phase fingerprint of one trace/request window."""
+
+    records: int
+    writes: int
+    instructions: int
+    unique_lines: int
+    #: fraction of accesses that stay in the previous access's row —
+    #: the row-buffer-hit proxy the phase detector keys on
+    row_locality: float
+
+    @property
+    def write_fraction(self) -> float:
+        return self.writes / self.records if self.records else 0.0
+
+    @property
+    def instructions_per_record(self) -> float:
+        return self.instructions / self.records if self.records else 0.0
+
+    @property
+    def line_pressure(self) -> float:
+        """Unique lines touched per record (D$/bank pressure proxy)."""
+        return self.unique_lines / self.records if self.records else 0.0
+
+    def close_to(self, other: "WindowSignature", tolerance: float) -> bool:
+        """Same phase?  All derived fractions within ``tolerance``."""
+        if self.records == 0 or other.records == 0:
+            return self.records == other.records
+        return (
+            abs(self.write_fraction - other.write_fraction) <= tolerance
+            and abs(self.line_pressure - other.line_pressure) <= tolerance
+            and abs(self.row_locality - other.row_locality) <= tolerance
+            and _rel_close(self.instructions_per_record,
+                           other.instructions_per_record, tolerance)
+        )
+
+
+@dataclass(frozen=True)
+class ResponseSummary:
+    """Bulk latency digest of one response window."""
+
+    responses: int
+    latency_total: float
+    latency_min: float
+    latency_max: float
+    blocked_total: float
+
+    @property
+    def latency_mean(self) -> float:
+        return self.latency_total / self.responses if self.responses else 0.0
+
+
+def _rel_close(a: float, b: float, tolerance: float) -> bool:
+    scale = max(abs(a), abs(b), 1e-12)
+    return abs(a - b) / scale <= tolerance
+
+
+def signature_of_columns(
+    addresses: Sequence[int],
+    is_write: Sequence[bool],
+    instructions: Sequence[int],
+) -> WindowSignature:
+    """Summarize parallel columns (the shape ``RequestWindow`` keeps)."""
+    count = len(addresses)
+    if count == 0:
+        return WindowSignature(0, 0, 0, 0, 0.0)
+    if HAVE_NUMPY:
+        lines = _np.fromiter(
+            addresses, dtype=_np.int64, count=count
+        ) // CACHELINE_BYTES
+        rows = lines * CACHELINE_BYTES // _ROW_BYTES
+        same_row = int((rows[1:] == rows[:-1]).sum())
+        writes = int(_np.count_nonzero(
+            _np.fromiter(is_write, dtype=bool, count=count)))
+        instr = int(_np.fromiter(
+            instructions, dtype=_np.int64, count=count).sum())
+        unique = int(_np.unique(lines).size)
+    else:
+        lines_list = [address // CACHELINE_BYTES for address in addresses]
+        rows_list = [
+            line * CACHELINE_BYTES // _ROW_BYTES for line in lines_list
+        ]
+        same_row = sum(
+            1 for prev, cur in zip(rows_list, rows_list[1:]) if prev == cur
+        )
+        writes = sum(1 for flag in is_write if flag)
+        instr = sum(instructions)
+        unique = len(set(lines_list))
+    locality = same_row / (count - 1) if count > 1 else 1.0
+    return WindowSignature(
+        records=count,
+        writes=writes,
+        instructions=instr,
+        unique_lines=unique,
+        row_locality=locality,
+    )
+
+
+def signature_of_records(records: Sequence) -> WindowSignature:
+    """Summarize a window of trace records (``TraceRecord``-shaped)."""
+    return signature_of_columns(
+        [record.address for record in records],
+        [record.is_write for record in records],
+        [record.instructions for record in records],
+    )
+
+
+def signature_of_window(window) -> WindowSignature:
+    """Summarize a :class:`~repro.memory.batch.RequestWindow` in place —
+    the struct is already columnar, so no per-record extraction runs."""
+    return signature_of_columns(
+        window.addresses, window.is_write, [0] * len(window.addresses)
+    )
+
+
+def summarize_responses(responses) -> ResponseSummary:
+    """Digest a :class:`~repro.memory.batch.ResponseWindow` (or any
+    sequence of responses with ``latency``/``blocked_ns``).
+
+    A ``ResponseWindow`` is consumed columnwise (its ``latencies()``
+    helper plus the ``blocked`` column); plain response sequences fall
+    back to attribute extraction.
+    """
+    latencies: Iterable[float]
+    if hasattr(responses, "latencies"):
+        latencies = list(responses.latencies())
+        blocked = list(responses.blocked)
+    else:
+        latencies = [response.latency for response in responses]
+        blocked = [response.blocked_ns for response in responses]
+    if not latencies:
+        return ResponseSummary(0, 0.0, 0.0, 0.0, 0.0)
+    if HAVE_NUMPY:
+        column = _np.asarray(latencies, dtype=float)
+        blocked_column = _np.asarray(blocked, dtype=float)
+        return ResponseSummary(
+            responses=int(column.size),
+            latency_total=float(column.sum()),
+            latency_min=float(column.min()),
+            latency_max=float(column.max()),
+            blocked_total=float(blocked_column.sum()),
+        )
+    return ResponseSummary(
+        responses=len(latencies),
+        latency_total=sum(latencies),
+        latency_min=min(latencies),
+        latency_max=max(latencies),
+        blocked_total=sum(blocked),
+    )

@@ -32,6 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.engine.base import canonical_engine_name
 from repro.faults.compound import CompoundFaultInjector
 from repro.faults.media import MediaFaultModel
 from repro.faults.plan import FaultPlan, generate_plan
@@ -163,8 +164,9 @@ def run_drill_program(
 ) -> DrillVerdict:
     """Execute one compound-fault scenario on every path and check it."""
     for path in paths:
-        if path not in EXECUTION_PATHS:
-            raise ValueError(f"unknown execution path {path!r}")
+        # Paths are execution-engine registry names; unknown ones raise
+        # the registry's ValueError (listing the available engines).
+        canonical_engine_name(path)
     model = model or PersistencyModel()
     timeline = build_timeline(program)
     ticks = total_ticks(timeline)
@@ -417,12 +419,17 @@ def run_drill(
     *,
     remap_enabled: bool = True,
     rules: Optional[dict] = None,
+    engine: Optional[str] = None,
     jobs: int = 1,
     cache_dir=None,
     progress: Optional[CampaignProgress] = None,
     trial_timeout: Optional[float] = None,
 ) -> DrillReport:
-    """Run a drill campaign; the empty violation list is the pass."""
+    """Run a drill campaign; the empty violation list is the pass.
+
+    ``engine`` restricts the drills to one execution engine (registry
+    name); the default drills every lowering and cross-checks them.
+    """
     runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir,
                             progress=progress, trial_timeout=trial_timeout)
     name = "drill" if shape in (None, "all") else f"drill-{shape}"
@@ -431,6 +438,9 @@ def run_drill(
         params["remap_enabled"] = False
     if rules:
         params["rules"] = rules
+    if engine is not None:
+        # Fingerprinted: one-engine shards never alias all-engine ones.
+        params["paths"] = (canonical_engine_name(engine),)
     outcomes = runner.run(Campaign(
         name=name, trials=trials, trial_fn=drill_trial,
         seed=seed, params=params,

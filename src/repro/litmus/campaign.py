@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.engine.base import canonical_engine_name
 from repro.litmus.engine import EXECUTION_PATHS, run_program
 from repro.litmus.generate import generate_program
 from repro.litmus.minimize import minimize_counterexample
@@ -121,16 +122,25 @@ def run_litmus(
     seed: int = 2405,
     *,
     rules: Optional[dict] = None,
+    engine: Optional[str] = None,
     jobs: int = 1,
     cache_dir=None,
     progress: Optional[CampaignProgress] = None,
 ) -> LitmusReport:
-    """Run a litmus campaign; the empty violation list is the pass."""
+    """Run a litmus campaign; the empty violation list is the pass.
+
+    ``engine`` restricts enumeration to one execution engine (registry
+    name); the default enumerates every lowering and cross-checks them.
+    """
     runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, progress=progress)
     name = "litmus" if shape in (None, "all") else f"litmus-{shape}"
     params: dict = {"shape": shape or "all"}
     if rules:
         params["rules"] = rules
+    if engine is not None:
+        # Part of the campaign fingerprint: a one-engine run must never
+        # reload an all-engine shard (or vice versa).
+        params["paths"] = (canonical_engine_name(engine),)
     outcomes = runner.run(Campaign(
         name=name, trials=trials, trial_fn=litmus_trial,
         seed=seed, params=params,

@@ -1,19 +1,24 @@
 """Crash-point enumeration: run litmus programs through the port stack.
 
-Each program is lowered three ways — ``scalar`` (one ``access`` per
-op), ``batch`` (store/load runs through ``access_batch``, the SnG
-writeback as one request window) and ``extent`` (the SnG writeback
-through ``flush_extents`` on coalesced dirty extents) — and every
-lowering is executed once per crash point with a fresh backend chain
-and a :class:`~repro.memory.port.FaultInjector` armed at that index.
+Each program is lowered once per execution engine — ``scalar`` (one
+``access`` per op), ``batch`` (the window engine: store/load runs
+through ``access_batch``, the SnG writeback as one request window) and
+``extent`` (the SnG writeback through ``flush_extents`` on coalesced
+dirty extents) — and every lowering is executed once per crash point
+with a fresh backend chain and a
+:class:`~repro.memory.port.FaultInjector` armed at that index.  The
+lowerings themselves live on the engines
+(:mod:`repro.engine.lowering`); :func:`drive_program` here is the
+registry dispatch, so a newly registered engine is immediately
+enumerable as a litmus path.
 
-All three lowerings produce the *same* injector tick sequence (a batch
-of n requests ticks n times, an extent of n lines ticks n times), so
-the crash-point space is shared and, because the lowerings are
+All lowerings produce the *same* injector tick sequence (a batch of n
+requests ticks n times, an extent of n lines ticks n times), so the
+crash-point space is shared and, because the lowerings are
 observationally equivalent by the PR 4/5 contracts, every crash point
-must recover to byte-identical state on all three paths — the engine
-asserts exactly that, besides checking each recovered state against
-the persistency oracle.
+must recover to byte-identical state on all paths — the engine asserts
+exactly that, besides checking each recovered state against the
+persistency oracle.
 
 Enumeration is pruned by the SHA-256 digest of the crash prefix's
 state-mutating event subsequence (:func:`repro.litmus.ir.prefix_digest`):
@@ -34,12 +39,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.engine.base import canonical_engine_name, resolve_engine
+from repro.engine.lowering import DriveResult
 from repro.litmus.ir import (
     LitmusProgram,
-    OpKind,
     build_timeline,
     iter_crash_points,
-    line_value,
     prefix_digest,
     prefix_events,
     total_ticks,
@@ -50,19 +55,9 @@ from repro.litmus.oracle import (
     allowed_after,
     check_observation,
 )
-from repro.memory.batch import backend_access_batch
-from repro.memory.extent import (
-    DirtyExtentMap,
-    backend_flush_extents,
-    window_from_extents,
-)
 from repro.memory.port import AddressRange, AddressRangePartition, \
-    FaultInjector, InjectedPowerFailure, MemoryBackend
-from repro.memory.request import (
-    CACHELINE_BYTES,
-    MemoryOp,
-    MemoryRequest,
-)
+    FaultInjector, MemoryBackend
+from repro.memory.request import CACHELINE_BYTES, MemoryOp, MemoryRequest
 from repro.ocpmem.psm import PSM, PSMConfig
 
 __all__ = [
@@ -132,91 +127,16 @@ class ProgramVerdict:
         return not self.violations and not self.divergences
 
 
-@dataclass
-class DriveResult:
-    """What one drive of a program through a port established.
-
-    ``committed`` is the wear blob captured at the last SNG_CUT that
-    completed before any crash; ``crashed`` records whether an injector
-    tripped mid-drive (the exception is absorbed so the caller can run
-    its own recovery protocol — one-shot for litmus, the looping Go of
-    the compound-fault drills).
-    """
-
-    committed: Optional[bytes] = None
-    crashed: bool = False
-
-
 def drive_program(port, program: LitmusProgram, path: str) -> DriveResult:
-    """Issue ``program``'s port traffic through ``port`` via one lowering.
+    """Issue ``program``'s port traffic through ``port`` via one engine.
 
-    All three lowerings produce the identical injector tick sequence
-    (see the module docstring), so any injector armed on ``port`` trips
-    at the same global tick index regardless of ``path``.
+    ``path`` is an execution-engine registry name (``batch`` resolves
+    to the window engine by alias).  Every engine's lowering produces
+    the identical injector tick sequence (see the module docstring), so
+    any injector armed on ``port`` trips at the same global tick index
+    regardless of ``path``.
     """
-    dirty = DirtyExtentMap(size=CACHELINE_BYTES)
-    result = DriveResult()
-    run: list[MemoryRequest] = []
-    t = 0.0
-
-    def submit_run() -> None:
-        nonlocal t
-        if not run:
-            return
-        batched, run[:] = list(run), []
-        if len(batched) == 1:
-            port.access(batched[0])
-        else:
-            backend_access_batch(port, batched)
-        t += 10.0
-
-    try:
-        for op in program.ops:
-            if op.kind is OpKind.STORE:
-                request = MemoryRequest(
-                    MemoryOp.WRITE, address=op.line * CACHELINE_BYTES,
-                    data=line_value(op.version), time=t)
-                dirty.note_write(request.address)
-                if path == "batch":
-                    run.append(request)
-                else:
-                    port.access(request)
-                    t += 10.0
-            elif op.kind is OpKind.LOAD:
-                request = MemoryRequest(
-                    MemoryOp.READ, address=op.line * CACHELINE_BYTES, time=t)
-                if path == "batch":
-                    run.append(request)
-                else:
-                    port.access(request)
-                    t += 10.0
-            elif op.kind is OpKind.FLUSH:
-                submit_run()
-                t = port.flush(t)
-            elif op.kind is OpKind.FENCE:
-                submit_run()
-                t = port.drain(t)
-            elif op.kind is OpKind.SNG_CUT:
-                submit_run()
-                extents = dirty.take()
-                if path == "extent":
-                    backend_flush_extents(port, extents, t)
-                elif path == "batch":
-                    window = window_from_extents(extents, t)
-                    if window is not None:
-                        backend_access_batch(port, window)
-                else:
-                    for extent in extents:
-                        for address in extent.addresses():
-                            port.access(MemoryRequest(
-                                MemoryOp.WRITE, address=address, time=t))
-                t = port.flush(t)
-                result.committed = port.capture_registers()
-            # CHECKPOINT: marker only, no port traffic
-        submit_run()
-    except InjectedPowerFailure:
-        result.crashed = True
-    return result
+    return resolve_engine(path).drive_program(port, program)
 
 
 def observe_state(port, program: LitmusProgram) -> dict[int, tuple[int, bool]]:
@@ -258,8 +178,9 @@ def run_program(
 ) -> ProgramVerdict:
     """Exhaustively enumerate every crash point of every lowering."""
     for path in paths:
-        if path not in EXECUTION_PATHS:
-            raise ValueError(f"unknown execution path {path!r}")
+        # Any registered engine is a valid path; unknown names raise
+        # the registry's ValueError (listing what *is* available).
+        canonical_engine_name(path)
     model = model or PersistencyModel()
     timeline = build_timeline(program)
     lines = program.observe_lines()

@@ -44,6 +44,11 @@ _KERNEL_FLOPS: dict[str, int] = {"copy": 1, "scale": 2, "add": 2, "triad": 3}
 class StreamKernel:
     """A re-iterable trace for one STREAM kernel over 3 arrays."""
 
+    #: fixed per-element access pattern throughout — stationary by
+    #: construction, so the epoch engine may skip its steady state
+    #: (``refs`` is the matching trace length hint)
+    stationary = True
+
     kernel: str
     elements: int
     array_bytes: int

@@ -60,6 +60,11 @@ class Workload:
 class _Replayable:
     """Re-iterable view over a deterministic generator."""
 
+    #: one fixed locality profile end to end — statistically stationary,
+    #: so the epoch engine may advance its steady state analytically
+    #: (``count`` doubles as the engine layer's trace length hint)
+    stationary = True
+
     generator: TraceGenerator
     count: int
 

@@ -241,7 +241,7 @@ class TestEngine:
             assert verdict.ok, (verdict.violations + verdict.divergences)
 
     def test_unknown_path_rejected(self):
-        with pytest.raises(ValueError, match="unknown execution path"):
+        with pytest.raises(ValueError, match="unknown engine"):
             run_program(_program(S(0, 1)), paths=("warp",))
 
 
