@@ -1,0 +1,171 @@
+"""Throughput gate for the campaign fast path.
+
+Runs the same trace-window crashfuzz campaign
+(:func:`repro.analysis.crashfuzz.fuzz_trace`) twice and prices the
+difference:
+
+* **cold** — the pre-fast-path shape: a v1 row-format trace (every
+  window pays an O(offset) sequential parse from record zero), a fresh
+  ``Machine`` built per trial, and a fresh process pool spawned for the
+  campaign when ``--jobs > 1``.
+* **warm** — the fast path: the v2 columnar trace mapped once and
+  windowed zero-copy, machines leased from the worker
+  :class:`~repro.orchestrate.MachinePool` (reset, not rebuilt), shards
+  crossing IPC as columnar summaries, the session's warm executor.
+
+Both arms replay byte-for-byte the same windows of the same stream, so
+the two :class:`FuzzReport`\\ s must compare equal — the benchmark exits
+non-zero if they don't, making it a determinism check as well as a
+throughput gate::
+
+    python benchmarks/bench_campaign.py --quick --min-speedup 3
+
+writes ``BENCH_campaign.json`` and exits 1 if the warm/cold trials/sec
+ratio falls below the gate (the CI campaign-perf-smoke job runs exactly
+that).  The committed full run (10^4 trials) is regenerated with no
+arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+try:
+    from repro.analysis.crashfuzz import fuzz_trace, materialize_fuzz_trace
+except ModuleNotFoundError:  # pragma: no cover - PYTHONPATH already set
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.analysis.crashfuzz import fuzz_trace, materialize_fuzz_trace
+
+from repro.orchestrate import machine_pool
+from repro.workloads.registry import spec
+from repro.workloads.trace import TraceGenerator
+from repro.workloads.trace_io import save_trace
+
+
+def _materialize_row_trace(workload: str, refs: int, trace_seed: int,
+                           directory: Path) -> Path:
+    """The v1 (row-format) twin of :func:`materialize_fuzz_trace`."""
+    path = directory / f"{workload}-w{refs}-s{trace_seed}.rowtrace"
+    if not path.exists():
+        generator = TraceGenerator(spec(workload).profile,
+                                   seed=trace_seed * 1009)
+        save_trace(generator.records(refs), path)
+    return path
+
+
+def run(workload: str, trials: int, window: int, refs: int, seed: int,
+        trace_seed: int, jobs: int, directory: Path) -> dict:
+    columnar = materialize_fuzz_trace(workload, refs, trace_seed, directory)
+    row = _materialize_row_trace(workload, refs, trace_seed, directory)
+    common = dict(trials=trials, window=window, seed=seed,
+                  workload=workload, refs=refs, trace_seed=trace_seed,
+                  jobs=jobs)
+
+    start = time.perf_counter()
+    cold_report = fuzz_trace(trace_path=row, warm=False, reuse_pool=False,
+                             **common)
+    cold_s = time.perf_counter() - start
+
+    pool = machine_pool()
+    built_before, reused_before = pool.built, pool.reused
+    start = time.perf_counter()
+    warm_report = fuzz_trace(trace_path=columnar, **common)
+    warm_s = time.perf_counter() - start
+
+    return {
+        "workload": workload,
+        "trials": trials,
+        "window": window,
+        "refs": refs,
+        "seed": seed,
+        "jobs": jobs,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "cold_tps": trials / cold_s,
+        "warm_tps": trials / warm_s,
+        "speedup": cold_s / warm_s,
+        "byte_identical": warm_report == cold_report,
+        "report": {
+            "trials": warm_report.trials,
+            "operations": warm_report.operations,
+            "crashes": warm_report.crashes,
+            "violations": len(warm_report.violations),
+        },
+        # jobs=1 runs trials inline, so the parent's own pool shows the
+        # build-once/reset-thereafter pattern; at jobs>1 the counters
+        # live in the workers and stay flat here.
+        "machine_pool": {
+            "built": pool.built - built_before,
+            "reused": pool.reused - reused_before,
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="300 trials instead of 10000 (CI smoke)")
+    parser.add_argument("--trials", type=int, default=None,
+                        help="campaign trials (default 300 quick, "
+                             "10000 full)")
+    parser.add_argument("--workload", default="aes",
+                        help="Table II workload behind the trace "
+                             "(default aes)")
+    parser.add_argument("--refs", type=int, default=120_000,
+                        help="materialised trace length (default 120000)")
+    parser.add_argument("--window", type=int, default=192,
+                        help="records replayed per trial (default 192)")
+    parser.add_argument("--seed", type=int, default=4,
+                        help="campaign seed (default 4)")
+    parser.add_argument("--trace-seed", type=int, default=42,
+                        help="trace-content seed (default 42)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for both arms (default 1)")
+    parser.add_argument("--trace-dir", default=None,
+                        help="directory for the materialised traces "
+                             "(default: a fresh temp dir)")
+    parser.add_argument("--out", default="BENCH_campaign.json",
+                        help="result file (default BENCH_campaign.json)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="exit 1 if warm/cold trials/sec is below this")
+    args = parser.parse_args(argv)
+
+    trials = args.trials or (300 if args.quick else 10_000)
+    directory = Path(args.trace_dir) if args.trace_dir else \
+        Path(tempfile.mkdtemp(prefix="bench-campaign-"))
+    directory.mkdir(parents=True, exist_ok=True)
+
+    results = run(args.workload, trials, args.window, args.refs, args.seed,
+                  args.trace_seed, args.jobs, directory)
+
+    print(f"{args.workload} x {trials:,} trials, window {args.window} of "
+          f"{args.refs:,} refs, jobs {args.jobs}")
+    print(f"{'arm':<6} {'seconds':>9} {'trials/s':>10}")
+    print(f"{'cold':<6} {results['cold_s']:>9.2f} "
+          f"{results['cold_tps']:>10.1f}")
+    print(f"{'warm':<6} {results['warm_s']:>9.2f} "
+          f"{results['warm_tps']:>10.1f}")
+    print(f"speedup {results['speedup']:.2f}x, reports byte-identical: "
+          f"{results['byte_identical']}")
+
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not results["byte_identical"]:
+        print("FAIL: warm and cold reports differ", file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and \
+            results["speedup"] < args.min_speedup:
+        print(f"FAIL: warm speedup {results['speedup']:.2f}x below gate "
+              f"{args.min_speedup:.2f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -33,20 +33,28 @@ across workers.  Each campaign returns a :class:`FuzzReport`; an empty
 from __future__ import annotations
 
 import random
+import tempfile
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Optional
 
 from repro.core.machine import Machine
 from repro.memory.port import FaultInjector, InjectedPowerFailure
 from repro.memory.request import MemoryOp, MemoryRequest
 from repro.ocpmem.psm import PSM, PSMConfig
-from repro.orchestrate import Campaign, CampaignProgress, CampaignRunner
+from repro.orchestrate import (
+    Campaign,
+    CampaignProgress,
+    CampaignRunner,
+    machine_for_workload,
+)
 from repro.pmem.controller import PMEMController
 from repro.pmem.dimm import PMEMDIMM
 from repro.pmem.pmdk import PersistentObjectPool
 from repro.pmem.sector import SECTOR_BYTES, SectorDevice
 from repro.power.psu import ATX_PSU, PSUModel
-from repro.workloads.suites import load_workload
+from repro.workloads.suites import ReplayWorkload, load_workload, spec
+from repro.workloads.trace_io import open_trace, read_window, trace_meta
 
 __all__ = [
     "FuzzReport",
@@ -55,10 +63,12 @@ __all__ = [
     "fuzz_pool",
     "fuzz_psm",
     "fuzz_sector",
+    "fuzz_trace",
     "machine_trial",
     "pool_trial",
     "psm_trial",
     "sector_trial",
+    "trace_trial",
 ]
 
 
@@ -110,13 +120,26 @@ def _run_campaign(
     jobs: int,
     cache_dir,
     progress: Optional[CampaignProgress],
+    shared: Optional[dict] = None,
+    reuse_pool: bool = True,
 ) -> FuzzReport:
-    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, progress=progress)
-    outcomes = runner.run(Campaign(
+    runner = CampaignRunner(jobs=jobs, cache_dir=cache_dir, progress=progress,
+                            reuse_pool=reuse_pool)
+    # Streaming merge: shards contribute columnar sums (and cached
+    # shards just their meta header) — numerically identical to folding
+    # per-trial outcomes through _merge_outcomes, without ever
+    # reconstructing them.
+    summary = runner.run_summaries(Campaign(
         name=component, trials=trials, trial_fn=trial_fn,
-        seed=seed, params=params,
+        seed=seed, params=params, shared=shared or {},
     ))
-    return _merge_outcomes(component, outcomes)
+    return FuzzReport(
+        component=component,
+        trials=summary.trials,
+        operations=summary.total("operations"),
+        crashes=summary.total("crashes"),
+        violations=list(summary.violations),
+    )
 
 
 def _line_value(tag: int) -> bytes:
@@ -255,17 +278,9 @@ def sector_trial(trial: int, rng: random.Random,
     return outcome
 
 
-def machine_trial(trial: int, rng: random.Random,
-                  psu: PSUModel = ATX_PSU,
-                  engine: Optional[str] = None) -> TrialOutcome:
-    """One whole-platform power-fail/recover cycle at a random run length."""
-    outcome = TrialOutcome()
-    refs = rng.randrange(1_000, 6_000)
-    workload = load_workload("aes", refs=refs, seed=trial)
-    machine = Machine.for_workload("lightpc", workload, functional=True,
-                                   engine=engine)
-    machine.run(workload)
-    outcome.operations += refs
+def _crash_recover_verify(machine: Machine, trial: int, psu: PSUModel,
+                          outcome: TrialOutcome) -> None:
+    """The shared power-fail/recover/verify tail of the machine fuzzers."""
     fail = machine.power_fail(psu)
     outcome.crashes += 1
     go = machine.recover()
@@ -279,6 +294,84 @@ def machine_trial(trial: int, rng: random.Random,
     elif go.warm:
         outcome.violations.append(
             f"trial {trial}: Stop missed the window yet warm-booted")
+
+
+def machine_trial(trial: int, rng: random.Random,
+                  psu: PSUModel = ATX_PSU,
+                  engine: Optional[str] = None,
+                  warm: bool = True) -> TrialOutcome:
+    """One whole-platform power-fail/recover cycle at a random run length.
+
+    ``warm`` leases the machine from the worker's
+    :class:`~repro.orchestrate.pool.MachinePool` (reset between trials)
+    instead of rebuilding it; the reset contract makes the two modes
+    byte-identical, which the golden-determinism pins and the fast-path
+    conformance battery both enforce.
+    """
+    outcome = TrialOutcome()
+    refs = rng.randrange(1_000, 6_000)
+    workload = load_workload("aes", refs=refs, seed=trial)
+    if warm:
+        machine = machine_for_workload("lightpc", workload, functional=True,
+                                       engine=engine)
+    else:
+        machine = Machine.for_workload("lightpc", workload, functional=True,
+                                       engine=engine)
+    machine.run(workload)
+    outcome.operations += refs
+    _crash_recover_verify(machine, trial, psu, outcome)
+    return outcome
+
+
+def trace_trial(trial: int, rng: random.Random,
+                window: int = 192,
+                workload: str = "aes",
+                psu: PSUModel = ATX_PSU,
+                engine: Optional[str] = None,
+                warm: bool = True,
+                refs: int = 0,
+                trace_seed: int = 0,
+                trace_path: str = "") -> TrialOutcome:
+    """Replay one random window of a shared trace, then crash/recover.
+
+    The trace-window fuzzer: the campaign materialises one trace file
+    up front and every trial replays a random ``window`` of it.  With a
+    columnar (v2) trace the window is a constant-time zero-copy view of
+    a process-shared mapping; with a row (v1) trace each trial pays the
+    honest sequential parse to its offset — the cost profile the
+    campaign benchmark compares.  ``trace_path`` arrives through
+    ``Campaign.shared`` (it names *where* the records live, never what
+    they are, so it stays out of the cache fingerprint).
+    """
+    if not trace_path:
+        raise ValueError("trace_trial needs a trace_path (Campaign.shared)")
+    outcome = TrialOutcome()
+    meta = trace_meta(trace_path)
+    count = meta["records"]
+    if refs and count != refs:
+        # ``refs``/``trace_seed`` are the fingerprinted *content* pins;
+        # a mismatched file means the transport path lied about them.
+        raise ValueError(
+            f"{trace_path}: {count} records, campaign expects {refs}")
+    span = min(window, count)
+    lo = rng.randrange(0, count - span + 1)
+    if meta["version"] >= 2:
+        stream = open_trace(trace_path).window(lo, lo + span)
+    else:
+        from repro.workloads.trace_io import RecordStream
+
+        stream = RecordStream(read_window(trace_path, lo, lo + span))
+    replay = ReplayWorkload(spec=spec(workload), streams=(stream,),
+                            refs=span)
+    if warm:
+        machine = machine_for_workload("lightpc", replay, functional=True,
+                                       engine=engine)
+    else:
+        machine = Machine.for_workload("lightpc", replay, functional=True,
+                                       engine=engine)
+    machine.run(replay)
+    outcome.operations += span
+    _crash_recover_verify(machine, trial, psu, outcome)
     return outcome
 
 
@@ -312,22 +405,86 @@ def fuzz_sector(trials: int = 12, writes: int = 30, seed: int = 2, *,
 
 
 def fuzz_machine(trials: int = 4, seed: int = 3, psu: PSUModel = ATX_PSU, *,
-                 engine: Optional[str] = None,
+                 engine: Optional[str] = None, warm: bool = True,
                  jobs: int = 1, cache_dir=None,
                  progress: Optional[CampaignProgress] = None) -> FuzzReport:
     """Whole-platform power-fail/recover cycles at random run lengths.
 
     ``engine`` selects the execution engine the fuzzed machines run
     through (registry name); it joins the campaign fingerprint so
-    cached shards never alias across engines.
+    cached shards never alias across engines.  ``warm=False`` opts a
+    campaign out of the worker machine pool (fresh build per trial).
     """
-    params: dict = {"psu": psu}
+    params: dict = {"psu": psu, "warm": warm}
     if engine is not None:
         from repro.engine.base import canonical_engine_name
 
         params["engine"] = canonical_engine_name(engine)
     return _run_campaign("machine", machine_trial, trials, seed, params,
                          jobs, cache_dir, progress)
+
+
+def materialize_fuzz_trace(workload: str = "aes", refs: int = 120_000,
+                           trace_seed: int = 42,
+                           trace_dir=None) -> Path:
+    """Write (once) the columnar trace a trace-window campaign replays.
+
+    Content-addressed under ``trace_dir`` (default: a ``repro-traces``
+    directory in the system temp dir), so repeated campaigns — and
+    every worker of one — share a single file mapped read-only.
+    """
+    import os
+
+    from repro.workloads.trace import TraceGenerator
+    from repro.workloads.trace_io import save_trace_columnar
+
+    directory = Path(trace_dir) if trace_dir is not None else (
+        Path(tempfile.gettempdir()) / "repro-traces")
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{workload}-w{refs}-s{trace_seed}.coltrace"
+    if not path.exists():
+        # The workload's thread-0 stream shape, scaled to ``refs``
+        # records (window trials replay a single stream).
+        generator = TraceGenerator(spec(workload).profile,
+                                   seed=trace_seed * 1009)
+        tmp = path.with_suffix(".tmp")
+        save_trace_columnar(generator.records(refs), tmp)
+        os.replace(tmp, path)
+    return path
+
+
+def fuzz_trace(trials: int = 200, window: int = 192, seed: int = 4, *,
+               workload: str = "aes", refs: int = 120_000,
+               trace_seed: int = 42, trace_path=None, trace_dir=None,
+               psu: PSUModel = ATX_PSU, engine: Optional[str] = None,
+               warm: bool = True, reuse_pool: bool = True,
+               jobs: int = 1, cache_dir=None,
+               progress: Optional[CampaignProgress] = None) -> FuzzReport:
+    """Power-fail/recover cycles over random windows of one shared trace.
+
+    The campaign-throughput fast path end to end: a columnar trace
+    materialised once, zero-copy windows per trial, pooled machines in
+    warm workers, columnar shard summaries back.  ``trace_path``
+    overrides materialisation (the benchmark points it at a v1 file to
+    price the old path); the path itself stays out of the fingerprint.
+    ``reuse_pool=False`` spawns (and tears down) a fresh process pool
+    for this campaign — the cold-pool baseline the benchmark prices.
+    """
+    if trace_path is None:
+        trace_path = materialize_fuzz_trace(workload, refs, trace_seed,
+                                            trace_dir)
+    # refs/trace_seed pin the trace *content* into the fingerprint even
+    # though the path (transport) stays out of it.
+    params: dict = {"window": window, "workload": workload, "psu": psu,
+                    "warm": warm, "refs": refs, "trace_seed": trace_seed}
+    if engine is not None:
+        from repro.engine.base import canonical_engine_name
+
+        params["engine"] = canonical_engine_name(engine)
+    return _run_campaign("trace", trace_trial, trials, seed, params,
+                         jobs, cache_dir, progress,
+                         shared={"trace_path": str(trace_path)},
+                         reuse_pool=reuse_pool)
 
 
 def main() -> None:  # pragma: no cover - exercised as a CLI

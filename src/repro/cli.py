@@ -25,6 +25,7 @@ from repro.analysis.crashfuzz import (
     fuzz_pool,
     fuzz_psm,
     fuzz_sector,
+    fuzz_trace,
 )
 from repro.analysis.report import render_result, render_stats
 from repro.core import Machine
@@ -61,6 +62,7 @@ _FUZZERS = {
     "pool": fuzz_pool,
     "sector": fuzz_sector,
     "machine": fuzz_machine,
+    "trace": fuzz_trace,
 }
 
 _PSUS = {"atx": ATX_PSU, "server": SERVER_PSU}
@@ -206,6 +208,11 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--progress", action="store_true",
                       help="print trials/sec, ETA and violation counts "
                            "to stderr as the campaign runs")
+    fuzz.add_argument("--cold", action="store_true",
+                      help="opt out of the campaign fast path (fresh "
+                           "machine per trial instead of the worker pool) "
+                           "for targets that execute machines; results "
+                           "are byte-identical either way")
     _add_engine_argument(fuzz)
 
     litmus = sub.add_parser(
@@ -270,6 +277,10 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=sorted(WORKLOAD_SPECS))
     export.add_argument("--refs", type=int, default=16_000)
     export.add_argument("--out", required=True)
+    export.add_argument("--columnar", action="store_true",
+                        help="write the columnar (v2) format campaign "
+                             "workers map zero-copy instead of the row "
+                             "stream format")
     stats = trace_sub.add_parser("stats", help="summarize a trace file")
     stats.add_argument("path")
     return parser
@@ -441,6 +452,8 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
         if engine is not None and \
                 "engine" in inspect.signature(fuzzer).parameters:
             kwargs["engine"] = engine
+        if args.cold and "warm" in inspect.signature(fuzzer).parameters:
+            kwargs["warm"] = False
         if args.trials:
             kwargs["trials"] = args.trials
         if args.seed is not None:
@@ -577,8 +590,16 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.trace_command == "export":
         workload = load_workload(args.workload, refs=args.refs)
-        count = save_trace(iter(workload.traces()[0]), args.out)
-        print(f"wrote {count:,} records ({args.workload}, thread 0) "
+        stream = workload.traces()[0]
+        if args.columnar:
+            from repro.workloads import save_trace_columnar
+
+            count = save_trace_columnar(stream, args.out)
+            kind = "columnar "
+        else:
+            count = save_trace(iter(stream), args.out)
+            kind = ""
+        print(f"wrote {count:,} {kind}records ({args.workload}, thread 0) "
               f"to {args.out}")
         return 0
     try:

@@ -90,6 +90,7 @@ class Machine:
             )
         self.platform = platform
         self.config = config or PlatformConfig()
+        self.functional = functional
         self.power_model = PowerModel()
         self.engine: ExecutionEngine = resolve_engine(engine)
 
@@ -132,6 +133,44 @@ class Machine:
         )
         return cls(platform, base.sized_for(footprint * 2), functional,
                    engine=engine)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset(self) -> "Machine":
+        """Return this machine to its fresh-construction state, in place.
+
+        The warm-pool fast path: a campaign worker builds one machine
+        template per platform config and resets it between trials
+        instead of reconstructing.  Everything a trial can dirty is
+        rebuilt or rewound — a factory-fresh backend and complex, a
+        dropped-and-re-registered stats tree, a fresh engine instance,
+        the kernel world repopulated in place (the expensive dpm list
+        is kept, its drivers rewound), a fresh SnG — so a reset machine
+        is byte-identical to a newly constructed one.  That contract is
+        enforced by ``tests/test_campaign_fastpath.py``, which compares
+        run results and stats trees against a cold build.
+        """
+        factory = _BACKEND_FACTORIES[self.platform]
+        backend = factory(self.config, self.functional)
+        self.backend = backend
+        self.engine = resolve_engine(self.engine.name)
+        self.complex = MultiCoreComplex(
+            self.backend, cores=self.config.cores,
+            core_config=self.config.core, engine=self.engine,
+        )
+        self.stats.drop()
+        self._register_stats()
+        self.kernel.reset_world()
+        self.sng = None
+        if not self.backend.is_volatile:
+            self.sng = SnG(
+                kernel=self.kernel,
+                dirty_lines_fn=self._dump_caches,
+                port=self.backend,
+            )
+        self._powered = True
+        self.runs = []
+        return self
 
     # -- backend wiring ----------------------------------------------------
 

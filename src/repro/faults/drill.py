@@ -441,8 +441,16 @@ def run_drill(
     if engine is not None:
         # Fingerprinted: one-engine shards never alias all-engine ones.
         params["paths"] = (canonical_engine_name(engine),)
-    outcomes = runner.run(Campaign(
+    # Streaming merge: fold shard summaries (columnar sums + violation
+    # strings) instead of unpickling every cached trial body.
+    summary = runner.run_summaries(Campaign(
         name=name, trials=trials, trial_fn=drill_trial,
         seed=seed, params=params,
     ))
-    return _merge(name, outcomes)
+    report = DrillReport(component=name, trials=summary.trials,
+                         violations=list(summary.violations))
+    for field_name in ("programs", "operations", "cuts", "media_faults",
+                       "executed", "recoveries", "transient_retries",
+                       "ecc_corrections", "units_retired"):
+        setattr(report, field_name, summary.total(field_name))
+    return report

@@ -141,8 +141,20 @@ def run_litmus(
         # Part of the campaign fingerprint: a one-engine run must never
         # reload an all-engine shard (or vice versa).
         params["paths"] = (canonical_engine_name(engine),)
-    outcomes = runner.run(Campaign(
+    # Streaming merge: shard *summaries* (columnar sums + violations)
+    # fold straight into the report; cached shard bodies are never
+    # unpickled and executed shards cross the process boundary packed.
+    summary = runner.run_summaries(Campaign(
         name=name, trials=trials, trial_fn=litmus_trial,
         seed=seed, params=params,
     ))
-    return _merge(name, outcomes)
+    return LitmusReport(
+        component=name,
+        trials=summary.trials,
+        programs=summary.total("programs"),
+        operations=summary.total("operations"),
+        crash_points=summary.total("crash_points"),
+        executed=summary.total("executed"),
+        deduped=summary.total("deduped"),
+        violations=list(summary.violations),
+    )

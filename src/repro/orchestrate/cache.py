@@ -3,10 +3,17 @@
 A shard's cache key is a SHA-256 over the campaign's *identity* — name,
 seed, trial-function parameters — plus the shard's trial range, so a
 warm re-run of the same campaign loads every shard from disk, while any
-change to the configuration or seed misses cleanly.  Values are pickled
-per-trial result lists, written atomically (temp file + rename) so a
-crashed run never leaves a torn cache entry; this repository of all
-places should not have torn writes in its own tooling.
+change to the configuration or seed misses cleanly.
+
+Entries are versioned: a magic line, a JSON meta line (trial count,
+per-field sums, violation texts — what :class:`PackedShard.meta`
+emits), then the pickled shard body.  The meta line is the streaming
+fast path: a warm re-run that only needs campaign aggregates reads one
+JSON line per shard and never unpickles a body.  Writes are atomic
+(temp file + rename) so a crashed run never leaves a torn entry, and a
+*corrupt* entry — torn by an older crash, truncated by a full disk,
+unreadable after a refactor — is deleted on load failure so exactly one
+run pays the miss instead of every run forever.
 """
 
 from __future__ import annotations
@@ -17,13 +24,22 @@ import json
 import os
 import pickle
 import tempfile
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-__all__ = ["NO_VALUE", "ShardCache", "fingerprint"]
+__all__ = ["NO_VALUE", "ShardCache", "ShardEntry", "fingerprint"]
 
 #: Sentinel distinguishing "cache miss" from a cached ``None``.
 NO_VALUE = object()
+
+#: First line of every cache entry; bumping it invalidates old caches.
+_MAGIC = b"LPCSHARD2\n"
+
+#: Everything a load can die of: torn files, truncated pickles, stale
+#: class references after a refactor, bad JSON in a hand-edited header.
+_LOAD_ERRORS = (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ValueError, ImportError, IndexError, KeyError)
 
 
 def _canonical(value: Any) -> Any:
@@ -54,12 +70,34 @@ def fingerprint(payload: Any) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-class ShardCache:
-    """Pickle-per-shard cache under one directory.
+@dataclass
+class ShardEntry:
+    """One cached shard: parsed meta now, pickled body on demand."""
 
-    ``hits`` / ``misses`` / ``stores`` counters let tests (and the
-    acceptance criterion — "a warm cache re-run completes without
-    re-executing any shard") observe exactly what was reused.
+    meta: dict
+    _path: Path
+    _body_offset: int
+    _cache: "ShardCache"
+
+    def load(self) -> Any:
+        """The cached value, or :data:`NO_VALUE` if the body is corrupt
+        (the entry is purged, so the caller re-executes exactly once)."""
+        try:
+            with self._path.open("rb") as handle:
+                handle.seek(self._body_offset)
+                return pickle.load(handle)
+        except _LOAD_ERRORS:
+            self._cache._purge(self._path)
+            return NO_VALUE
+
+
+class ShardCache:
+    """Versioned pickle-per-shard cache under one directory.
+
+    ``hits`` / ``misses`` / ``stores`` / ``purged`` counters let tests
+    (and the acceptance criterion — "a warm cache re-run completes
+    without re-executing any shard") observe exactly what was reused,
+    and that corrupt entries were evicted rather than re-tripped.
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
@@ -68,27 +106,68 @@ class ShardCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        #: corrupt/legacy entries deleted on load failure
+        self.purged = 0
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.pkl"
 
-    def get(self, key: str) -> Any:
-        """The cached value, or :data:`NO_VALUE` on a miss."""
+    # -- reads -------------------------------------------------------------
+
+    def get_entry(self, key: str) -> Any:
+        """The :class:`ShardEntry` for ``key``, or :data:`NO_VALUE`.
+
+        The entry's meta line is parsed eagerly (that is the streaming
+        merge); the body stays on disk until ``load()``.  A missing
+        file is a plain miss; anything unreadable — bad magic (legacy
+        headerless entries included), torn meta — is deleted so the
+        failure path runs once, not on every warm re-run.
+        """
         path = self.path_for(key)
         try:
             with path.open("rb") as handle:
-                value = pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+                magic = handle.readline(len(_MAGIC) + 1)
+                if magic != _MAGIC:
+                    raise ValueError("bad shard magic")
+                meta = json.loads(handle.readline().decode())
+                if not isinstance(meta, dict):
+                    raise ValueError("bad shard meta")
+                offset = handle.tell()
+        except FileNotFoundError:
+            self.misses += 1
+            return NO_VALUE
+        except _LOAD_ERRORS:
+            self._purge(path)
             self.misses += 1
             return NO_VALUE
         self.hits += 1
+        return ShardEntry(meta=meta, _path=path, _body_offset=offset,
+                          _cache=self)
+
+    def get(self, key: str) -> Any:
+        """The cached value, or :data:`NO_VALUE` on a miss."""
+        entry = self.get_entry(key)
+        if entry is NO_VALUE:
+            return NO_VALUE
+        value = entry.load()
+        if value is NO_VALUE:
+            # counted as a hit when the header parsed; take it back
+            self.hits -= 1
+            self.misses += 1
         return value
 
-    def put(self, key: str, value: Any) -> Path:
+    # -- writes ------------------------------------------------------------
+
+    def put(self, key: str, value: Any, meta: dict | None = None) -> Path:
         path = self.path_for(key)
         fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(json.dumps(
+                    meta or {}, sort_keys=True,
+                    separators=(",", ":")).encode())
+                handle.write(b"\n")
                 pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except BaseException:
@@ -99,3 +178,13 @@ class ShardCache:
             raise
         self.stores += 1
         return path
+
+    # -- eviction ----------------------------------------------------------
+
+    def _purge(self, path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        else:
+            self.purged += 1

@@ -67,6 +67,15 @@ class CampaignProgress:
         """Completed trials per second (cached shards count as completed)."""
         return self.completed_trials / self.elapsed_s()
 
+    def executed_throughput(self) -> float:
+        """Actually-executed trials per second.
+
+        Warm cache re-runs land shards instantly, which inflates
+        :meth:`throughput` past anything the workers can sustain; this
+        figure excludes cached trials, so it is the one to compare
+        against a benchmark's trials/sec."""
+        return self.executed_trials / self.elapsed_s()
+
     def eta_s(self) -> float:
         remaining = max(self.total_trials - self.completed_trials, 0)
         rate = self.throughput()

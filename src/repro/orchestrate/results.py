@@ -1,0 +1,195 @@
+"""Columnar shard results: struct-of-arrays summaries over IPC and disk.
+
+Every campaign consumer in this repository returns per-trial outcome
+dataclasses of the same shape — a handful of integer counters plus a
+(usually empty) ``violations: list[str]``.  Shipping those back from
+worker processes as pickled object lists costs a per-trial pickle on
+the worker, a per-trial unpickle on the parent, and a per-trial object
+in every :class:`~repro.orchestrate.cache.ShardCache` entry.  A shard
+of N such outcomes compresses losslessly into K integer columns of
+length N plus a sparse ``(row, text)`` list for the rare violations;
+that is what crosses the process boundary and what the cache stores.
+
+:func:`pack_results` recognises the columnar shape structurally (one
+dataclass type, int fields, at most one ``list[str]`` field named
+``violations``) and falls back to plain pickling for anything else
+(sensitivity sweeps return dicts), so the runner never needs to know
+which consumer it is running.  ``PackedShard.results()`` reconstructs
+the original objects exactly — equality, order, everything — which is
+what keeps ``jobs=1`` byte-identical to any packed parallel run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from importlib import import_module
+from typing import Any, Optional, Sequence
+
+__all__ = ["CampaignSummary", "PackedShard", "pack_results"]
+
+
+@dataclass
+class PackedShard:
+    """One shard's results in struct-of-arrays form.
+
+    ``codec`` is ``"columnar"`` (int columns + sparse violations, with
+    ``type_ref`` naming the outcome dataclass) or ``"pickle"`` (the raw
+    result list rides in ``payload``).
+    """
+
+    codec: str
+    count: int
+    type_ref: str = ""
+    columns: dict[str, list[int]] = field(default_factory=dict)
+    #: sparse violations as (row, text), in trial order
+    violations: list[tuple[int, str]] = field(default_factory=list)
+    payload: Optional[list] = None
+
+    # -- aggregates (no object reconstruction) -----------------------------
+
+    def sums(self) -> dict[str, int]:
+        """Per-field totals across the shard's trials."""
+        if self.codec == "columnar":
+            return {name: sum(column)
+                    for name, column in self.columns.items()}
+        return _scan_sums(self.payload or [])
+
+    def violation_texts(self) -> list[str]:
+        if self.codec == "columnar":
+            return [text for _, text in self.violations]
+        out: list[str] = []
+        for result in self.payload or []:
+            out.extend(getattr(result, "violations", None) or [])
+        return out
+
+    def meta(self) -> dict:
+        """JSON-safe header for the shard cache's streaming merge."""
+        return {
+            "codec": self.codec,
+            "count": self.count,
+            "sums": self.sums(),
+            "violations": self.violation_texts(),
+        }
+
+    # -- reconstruction ----------------------------------------------------
+
+    def results(self) -> list:
+        """The original per-trial result objects, in trial order."""
+        if self.codec != "columnar":
+            return list(self.payload or [])
+        cls = _resolve_type(self.type_ref)
+        per_row: dict[int, list[str]] = {}
+        for row, text in self.violations:
+            per_row.setdefault(row, []).append(text)
+        names = list(self.columns)
+        out = []
+        for row in range(self.count):
+            kwargs: dict[str, Any] = {
+                name: self.columns[name][row] for name in names
+            }
+            if _violations_field(cls) is not None:
+                kwargs["violations"] = per_row.get(row, [])
+            out.append(cls(**kwargs))
+        return out
+
+
+@dataclass
+class CampaignSummary:
+    """Streaming-merged aggregate of one campaign run.
+
+    What the report-shaped consumers (crashfuzz, litmus, drill) need:
+    per-field sums and the violation texts in trial order — never the
+    per-trial objects, so cached shards merge header-only.
+    """
+
+    trials: int = 0
+    sums: dict[str, int] = field(default_factory=dict)
+    violations: list[str] = field(default_factory=list)
+
+    def total(self, name: str) -> int:
+        return self.sums.get(name, 0)
+
+    def absorb(self, meta: dict) -> None:
+        """Fold one shard's header (``PackedShard.meta()``) in order."""
+        self.trials += meta["count"]
+        for name, value in meta["sums"].items():
+            self.sums[name] = self.sums.get(name, 0) + value
+        self.violations.extend(meta["violations"])
+
+
+def pack_results(results: Sequence[Any]) -> PackedShard:
+    """Pack a shard's result list; columnar when the shape allows."""
+    plan = _columnar_plan(results)
+    if plan is None:
+        return PackedShard(codec="pickle", count=len(results),
+                           payload=list(results))
+    cls, int_fields, violations_name = plan
+    columns: dict[str, list[int]] = {name: [] for name in int_fields}
+    violations: list[tuple[int, str]] = []
+    for row, result in enumerate(results):
+        for name in int_fields:
+            columns[name].append(getattr(result, name))
+        if violations_name is not None:
+            for text in getattr(result, violations_name):
+                violations.append((row, text))
+    return PackedShard(
+        codec="columnar",
+        count=len(results),
+        type_ref=f"{cls.__module__}:{cls.__qualname__}",
+        columns=columns,
+        violations=violations,
+    )
+
+
+# -- helpers ----------------------------------------------------------------
+
+
+def _columnar_plan(results: Sequence[Any]):
+    """(cls, int_fields, violations_name) when the shard packs columnar."""
+    if not results:
+        return None
+    cls = type(results[0])
+    if not dataclasses.is_dataclass(cls):
+        return None
+    if any(type(result) is not cls for result in results):
+        return None
+    int_fields: list[str] = []
+    violations_name: Optional[str] = None
+    for spec in dataclasses.fields(cls):
+        values = [getattr(result, spec.name) for result in results]
+        if all(type(v) is int for v in values):
+            int_fields.append(spec.name)
+        elif spec.name == "violations" and all(
+            isinstance(v, list) and all(isinstance(t, str) for t in v)
+            for v in values
+        ):
+            violations_name = spec.name
+        else:
+            return None
+    return cls, int_fields, violations_name
+
+
+def _violations_field(cls) -> Optional[str]:
+    for spec in dataclasses.fields(cls):
+        if spec.name == "violations":
+            return spec.name
+    return None
+
+
+def _resolve_type(type_ref: str):
+    module_name, _, qualname = type_ref.partition(":")
+    obj: Any = import_module(module_name)
+    for part in qualname.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+def _scan_sums(results: Sequence[Any]) -> dict[str, int]:
+    """Generic fallback totals (mirrors the runner's getattr scans)."""
+    sums: dict[str, int] = {}
+    for result in results:
+        operations = getattr(result, "operations", None)
+        if isinstance(operations, int):
+            sums["operations"] = sums.get("operations", 0) + operations
+    return sums

@@ -2,7 +2,7 @@
 
 A :class:`Campaign` names a trial function and how many times to call
 it; the :class:`CampaignRunner` decides *how* the calls happen (inline
-or across a ``ProcessPoolExecutor``, cold or from a warm shard cache).
+or across a warm ``ProcessPoolExecutor``, cold or from a shard cache).
 The determinism contract is structural rather than promised:
 
 * every trial draws from its own RNG derived from
@@ -16,6 +16,16 @@ The determinism contract is structural rather than promised:
 ``jobs=1`` runs shards inline in the calling process — no executor, no
 pickling — and is byte-identical to any parallel run, which
 ``tests/test_orchestrate.py`` asserts at several seeds.
+
+The campaign fast path rides three mechanisms below this module:
+workers come from the session-wide warm executors of
+:mod:`repro.orchestrate.pool` (``reuse_pool=False`` restores the old
+spawn-per-campaign behaviour); shards cross the process boundary as
+struct-of-arrays :class:`~repro.orchestrate.results.PackedShard`
+summaries instead of pickled object lists; and consumers that only
+need campaign aggregates call :meth:`CampaignRunner.run_summaries`,
+which merges cached shards from their cache-header meta line without
+ever unpickling a body.
 """
 
 from __future__ import annotations
@@ -29,11 +39,14 @@ from concurrent.futures import (
     ThreadPoolExecutor,
     wait,
 )
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Optional, Sequence
 
 from repro.orchestrate.cache import NO_VALUE, ShardCache, fingerprint
+from repro.orchestrate.pool import invalidate_executor, warm_executor
 from repro.orchestrate.progress import CampaignProgress
+from repro.orchestrate.results import CampaignSummary, PackedShard, pack_results
 from repro.orchestrate.seeding import trial_rng
 
 __all__ = [
@@ -42,6 +55,7 @@ __all__ = [
     "CampaignStats",
     "ShardTimeoutError",
     "run_shard",
+    "run_shard_packed",
     "run_shard_watched",
 ]
 
@@ -55,11 +69,16 @@ DEFAULT_TARGET_SHARDS = 16
 class Campaign:
     """A trial-indexed unit of work.
 
-    ``trial_fn(trial_index, rng, **params)`` must be a module-level
-    callable (so it pickles into worker processes) and must derive all
-    randomness from the injected ``rng``.  ``params`` become part of the
-    cache fingerprint, so two campaigns differing only in, say, ``ops``
-    never share shards.
+    ``trial_fn(trial_index, rng, **params, **shared)`` must be a
+    module-level callable (so it pickles into worker processes) and
+    must derive all randomness from the injected ``rng``.  ``params``
+    become part of the cache fingerprint, so two campaigns differing
+    only in, say, ``ops`` never share shards.  ``shared`` carries
+    transport-level resources — e.g. the path of a materialised trace
+    file every worker maps read-only — that must not influence results
+    (only how they are obtained), so it stays *out* of the fingerprint:
+    the same campaign re-run from a different scratch directory still
+    hits its cache.
     """
 
     name: str
@@ -67,6 +86,7 @@ class Campaign:
     trial_fn: Callable[..., Any]
     seed: int = 0
     params: dict = field(default_factory=dict)
+    shared: dict = field(default_factory=dict)
 
     def fingerprint(self) -> str:
         return fingerprint({
@@ -104,9 +124,16 @@ def run_shard(campaign: Campaign, lo: int, hi: int) -> list:
             index,
             trial_rng(campaign.seed, index, namespace=campaign.name),
             **campaign.params,
+            **campaign.shared,
         )
         for index in range(lo, hi)
     ]
+
+
+def run_shard_packed(campaign: Campaign, lo: int, hi: int) -> PackedShard:
+    """:func:`run_shard`, returning the columnar summary — what warm
+    pool workers ship back over IPC instead of pickled object lists."""
+    return pack_results(run_shard(campaign, lo, hi))
 
 
 class ShardTimeoutError(RuntimeError):
@@ -126,6 +153,7 @@ def _watchdog_worker(campaign: Campaign, lo: int, hi: int, out) -> None:
                 index,
                 trial_rng(campaign.seed, index, namespace=campaign.name),
                 **campaign.params,
+                **campaign.shared,
             )
             out.put(("ok", index, result))
     except BaseException:
@@ -188,22 +216,11 @@ def run_shard_watched(campaign: Campaign, lo: int, hi: int,
     return results
 
 
-def _count_violations(results: Sequence[Any]) -> int:
-    total = 0
-    for result in results:
-        violations = getattr(result, "violations", None)
-        if violations is not None:
-            total += len(violations)
-    return total
-
-
-def _count_operations(results: Sequence[Any]) -> int:
-    total = 0
-    for result in results:
-        operations = getattr(result, "operations", None)
-        if operations is not None:
-            total += operations
-    return total
+def _as_packed(value: Any) -> PackedShard:
+    """Normalise a cache body (packed, or a legacy raw result list)."""
+    if isinstance(value, PackedShard):
+        return value
+    return pack_results(list(value))
 
 
 class CampaignRunner:
@@ -217,6 +234,7 @@ class CampaignRunner:
         target_shards: int = DEFAULT_TARGET_SHARDS,
         progress: Optional[CampaignProgress] = None,
         trial_timeout: Optional[float] = None,
+        reuse_pool: bool = True,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -232,6 +250,9 @@ class CampaignRunner:
         self.progress = progress
         #: per-trial watchdog in seconds; None disables the watchdog
         self.trial_timeout = trial_timeout
+        #: reuse the session-wide warm executor (False = spawn a fresh
+        #: pool per run and tear it down after — the cold-pool baseline)
+        self.reuse_pool = reuse_pool
         self.last_stats = CampaignStats()
 
     # -- sharding ---------------------------------------------------------
@@ -253,6 +274,34 @@ class CampaignRunner:
         *submission* order only; it exists so tests can prove that
         merged output does not depend on execution order.
         """
+        packed = self._execute(campaign, shard_order, bodies=True)
+        return [result
+                for shard in packed
+                for result in shard.results()]
+
+    def run_summaries(self, campaign: Campaign,
+                      shard_order: Optional[Sequence[int]] = None
+                      ) -> CampaignSummary:
+        """Streaming-merged aggregates of ``campaign``, in trial order.
+
+        The fast path for report-shaped consumers: executed shards
+        contribute their columnar summary, cached shards contribute
+        their cache-header meta line — no per-trial object is ever
+        reconstructed, and warm re-runs never unpickle a shard body.
+        """
+        summary = CampaignSummary()
+        for meta in self._execute(campaign, shard_order, bodies=False):
+            summary.absorb(meta)
+        return summary
+
+    def _execute(self, campaign: Campaign,
+                 shard_order: Optional[Sequence[int]],
+                 bodies: bool) -> list:
+        """Run/load every shard; per-shard payloads in shard order.
+
+        Payloads are :class:`PackedShard` when ``bodies`` is true, meta
+        dicts otherwise (cached shards then stay on disk).
+        """
         shards = self.shards(campaign.trials)
         order = list(range(len(shards))) if shard_order is None \
             else list(shard_order)
@@ -265,31 +314,54 @@ class CampaignRunner:
         if progress is not None:
             progress.start()
         base = campaign.fingerprint()
-        results: dict[int, list] = {}
+        outputs: dict[int, Any] = {}
 
-        def record(shard_index: int, shard_results: list, cached: bool) -> None:
-            results[shard_index] = shard_results
-            stats.trials += len(shard_results)
-            stats.operations += _count_operations(shard_results)
-            violations = _count_violations(shard_results)
+        def record(shard_index: int, packed: Optional[PackedShard],
+                   meta: dict, cached: bool) -> None:
+            outputs[shard_index] = packed if bodies else meta
+            stats.trials += meta["count"]
+            stats.operations += meta["sums"].get("operations", 0)
+            violations = len(meta["violations"])
             stats.violations += violations
             if cached:
                 stats.cached_shards += 1
             else:
                 stats.executed_shards += 1
             if progress is not None:
-                progress.shard_done(len(shard_results), violations=violations,
+                progress.shard_done(meta["count"], violations=violations,
                                     cached=cached)
+
+        def record_executed(shard_index: int, packed: PackedShard) -> None:
+            record(shard_index, packed, packed.meta(), cached=False)
+            self._store(base, shards[shard_index], packed)
 
         pending: list[int] = []
         for shard_index in order:
             lo, hi = shards[shard_index]
             if self.cache is not None:
                 key = fingerprint({"campaign": base, "lo": lo, "hi": hi})
-                value = self.cache.get(key)
-                if value is not NO_VALUE:
-                    record(shard_index, value, cached=True)
-                    continue
+                entry = self.cache.get_entry(key)
+                if entry is not NO_VALUE:
+                    if bodies:
+                        value = entry.load()
+                        if value is not NO_VALUE:
+                            packed = _as_packed(value)
+                            record(shard_index, packed, packed.meta(),
+                                   cached=True)
+                            continue
+                        # body was corrupt (now purged): execute below
+                    elif {"count", "sums", "violations"} <= entry.meta.keys():
+                        record(shard_index, None, entry.meta, cached=True)
+                        continue
+                    else:
+                        # header lacks the streaming meta (legacy or
+                        # hand-written entry): fall back to the body
+                        value = entry.load()
+                        if value is not NO_VALUE:
+                            packed = _as_packed(value)
+                            record(shard_index, packed, packed.meta(),
+                                   cached=True)
+                            continue
             pending.append(shard_index)
 
         timeout = self.trial_timeout
@@ -301,8 +373,7 @@ class CampaignRunner:
                 else:
                     shard_results = run_shard_watched(campaign, lo, hi,
                                                       timeout)
-                record(shard_index, shard_results, cached=False)
-                self._store(base, shards[shard_index], results[shard_index])
+                record_executed(shard_index, pack_results(shard_results))
         elif timeout is not None:
             # Watchdogs need to spawn (and kill) child processes, which
             # pool workers cannot safely do; parent threads each babysit
@@ -319,38 +390,53 @@ class CampaignRunner:
                     done, outstanding = wait(outstanding,
                                              return_when=FIRST_COMPLETED)
                     for future in done:
-                        shard_index = futures[future]
-                        record(shard_index, future.result(), cached=False)
-                        self._store(base, shards[shard_index],
-                                    results[shard_index])
+                        record_executed(futures[future],
+                                        pack_results(future.result()))
         else:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = {
-                    pool.submit(run_shard, campaign, *shards[shard_index]):
-                        shard_index
-                    for shard_index in pending
-                }
-                outstanding = set(futures)
-                while outstanding:
-                    done, outstanding = wait(outstanding,
-                                             return_when=FIRST_COMPLETED)
-                    for future in done:
-                        shard_index = futures[future]
-                        record(shard_index, future.result(), cached=False)
-                        self._store(base, shards[shard_index],
-                                    results[shard_index])
+            self._run_pooled(campaign, shards, pending, record_executed)
 
         self.last_stats = stats
         if progress is not None:
             progress.finish()
-        return [result
-                for shard_index in range(len(shards))
-                for result in results[shard_index]]
+        return [outputs[shard_index] for shard_index in range(len(shards))]
+
+    def _run_pooled(self, campaign: Campaign,
+                    shards: list[tuple[int, int]], pending: list[int],
+                    record_executed) -> None:
+        """Fan pending shards across a process pool (warm by default)."""
+        if self.reuse_pool:
+            self._drain_pool(warm_executor(self.jobs), campaign,
+                             shards, pending, record_executed)
+        else:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                self._drain_pool(pool, campaign, shards, pending,
+                                 record_executed)
+
+    def _drain_pool(self, pool, campaign, shards, pending,
+                    record_executed) -> None:
+        try:
+            futures = {
+                pool.submit(run_shard_packed, campaign,
+                            *shards[shard_index]): shard_index
+                for shard_index in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+                for future in done:
+                    record_executed(futures[future], future.result())
+        except BrokenProcessPool:
+            # A worker died (OOM, signal).  The shared executor is
+            # poisoned; drop it so the next campaign gets a fresh one.
+            if self.reuse_pool:
+                invalidate_executor(self.jobs)
+            raise
 
     def _store(self, base: str, shard: tuple[int, int],
-               shard_results: list) -> None:
+               packed: PackedShard) -> None:
         if self.cache is None:
             return
         lo, hi = shard
         key = fingerprint({"campaign": base, "lo": lo, "hi": hi})
-        self.cache.put(key, shard_results)
+        self.cache.put(key, packed, meta=packed.meta())

@@ -80,6 +80,17 @@ class DeviceDriver:
             seed = sum(self.name.encode()) & 0xFF
             self._mmio = bytes((seed + i) & 0xFF for i in range(self.mmio_bytes))
 
+    def reset(self) -> None:
+        """Rewind to the just-constructed state (``Kernel.reset_world``).
+
+        Everything mutable is rewound: power state, IRQ masking, and
+        the MMIO image (regenerated from the name-derived pattern, so a
+        trial's ``scribble_mmio`` churn does not leak into the next)."""
+        self.state = DeviceState.ACTIVE
+        self.irq_enabled = True
+        self._mmio = b""
+        self.__post_init__()
+
     # -- suspend chain ------------------------------------------------------
 
     def dpm_prepare(self) -> float:

@@ -92,6 +92,33 @@ class Kernel:
         self.scheduler.enqueue_balanced(tasks[n_sleeping:])
         self._populated = True
 
+    def reset_world(self) -> None:
+        """Rewind to the just-populated state without rebuilding devices.
+
+        The dpm list is by far the most expensive part of kernel
+        construction (hundreds of :class:`DeviceDriver` dataclasses),
+        and nothing about it is world-specific: drivers only ever
+        change power state, IRQ masking, and MMIO contents, all of
+        which :meth:`DeviceDriver.reset` rewinds in place.  Everything
+        else — scheduler queues, the task tree, the bootloader commit,
+        the persistent flag — is rebuilt, then :meth:`populate` reruns
+        deterministically from ``config.seed``, so a reset kernel is
+        indistinguishable from a fresh one.  This is the kernel half of
+        ``Machine.reset()``'s conformance contract.
+        """
+        for driver in self.dpm.drivers:
+            driver.reset()
+        self.dpm.dcbs.clear()
+        self.scheduler = Scheduler(self.config.cores)
+        self.bootloader = Bootloader()
+        self.init_task = Task(name="init", kernel_thread=True,
+                              state=TaskState.RUNNABLE)
+        self.persistent_flag = False
+        if hasattr(self, "address_spaces"):
+            del self.address_spaces
+        self._populated = False
+        self.populate()
+
     # -- queries -------------------------------------------------------------
 
     def all_tasks(self) -> list[Task]:

@@ -9,12 +9,26 @@ from repro.workloads.registry import (
     workload_names,
 )
 from repro.workloads.stream import STREAM_KERNELS, StreamKernel, stream_kernel
-from repro.workloads.suites import Workload, all_workloads, load_workload
+from repro.workloads.suites import (
+    ReplayWorkload,
+    Workload,
+    all_workloads,
+    load_workload,
+    materialize_traces,
+    replay_workload,
+)
 from repro.workloads.trace import LocalityProfile, TraceGenerator, TraceRecord
 from repro.workloads.trace_io import (
+    ColumnarTrace,
+    RecordStream,
     TraceFormatError,
+    TraceWindow,
     load_trace,
+    open_trace,
+    read_window,
     save_trace,
+    save_trace_columnar,
+    trace_meta,
     trace_stats,
 )
 
@@ -22,20 +36,30 @@ __all__ = [
     "CATEGORIES",
     "Characterization",
     "characterize",
+    "ColumnarTrace",
     "LocalityProfile",
+    "RecordStream",
+    "ReplayWorkload",
     "STREAM_KERNELS",
     "StreamKernel",
     "TraceFormatError",
     "TraceGenerator",
     "TraceRecord",
+    "TraceWindow",
     "WORKLOAD_SPECS",
     "Workload",
     "WorkloadSpec",
     "all_workloads",
     "load_trace",
     "load_workload",
+    "materialize_traces",
+    "open_trace",
+    "read_window",
+    "replay_workload",
     "save_trace",
+    "save_trace_columnar",
     "spec",
+    "trace_meta",
     "trace_stats",
     "stream_kernel",
     "workload_names",

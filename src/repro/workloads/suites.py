@@ -2,13 +2,22 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
 
 from repro.workloads.registry import WORKLOAD_SPECS, WorkloadSpec, spec
 from repro.workloads.trace import TraceGenerator, TraceRecord
 
-__all__ = ["Workload", "all_workloads", "load_workload"]
+__all__ = [
+    "ReplayWorkload",
+    "Workload",
+    "all_workloads",
+    "load_workload",
+    "materialize_traces",
+    "replay_workload",
+]
 
 #: Default scaled-down reference count per workload (the paper's runs are
 #: 10^8–10^9 references; proportions are preserved, magnitude is not).
@@ -70,6 +79,92 @@ class _Replayable:
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return self.generator.records(self.count)
+
+    def columns(self) -> tuple[list[int], list[int], list[bool]]:
+        """Column-wise view (``save_trace_columnar``'s fast path)."""
+        return self.generator.columns(self.count)
+
+
+@dataclass(frozen=True)
+class ReplayWorkload:
+    """A workload replayed from pre-materialised trace streams.
+
+    Quacks like :class:`Workload` everywhere ``Machine`` looks —
+    ``spec`` / ``name`` / ``threads`` / ``refs`` / ``traces()`` — but
+    its per-thread streams are fixed views (typically zero-copy
+    :class:`~repro.workloads.trace_io.TraceWindow` slices of a shared
+    columnar file) instead of seeded generators.  ``traces(refs)``
+    ignores the override: the streams *are* the workload.
+    """
+
+    spec: WorkloadSpec
+    streams: tuple = ()
+    refs: int = 0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def threads(self) -> int:
+        return len(self.streams)
+
+    def traces(self, refs: int | None = None) -> list:
+        return list(self.streams)
+
+    def total_refs(self) -> int:
+        return sum(getattr(s, "count", 0) for s in self.streams)
+
+
+def materialize_traces(workload: Workload, directory: str | os.PathLike,
+                       refs: int | None = None) -> list[Path]:
+    """Write the workload's per-thread streams as columnar trace files.
+
+    Idempotent and content-addressed: file names carry (spec, refs,
+    seed, thread), so a campaign can materialise once and every worker
+    maps the same files read-only.  Returns one path per thread.
+    """
+    from repro.workloads.trace_io import save_trace_columnar
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    total = refs if refs is not None else workload.refs
+    per_thread = max(1, total // workload.threads)
+    paths: list[Path] = []
+    for thread, stream in enumerate(workload.traces(refs)):
+        path = directory / (
+            f"{workload.name}-r{per_thread}-s{workload.seed}"
+            f"-t{thread}.coltrace")
+        if not path.exists():
+            tmp = path.with_suffix(".tmp")
+            save_trace_columnar(stream, tmp)
+            os.replace(tmp, path)
+        paths.append(path)
+    return paths
+
+
+def replay_workload(name: str, paths: Sequence[str | os.PathLike],
+                    windows: Sequence[tuple[int, int]] | None = None,
+                    refs: int | None = None) -> ReplayWorkload:
+    """Bind columnar trace files (or windows of them) to a spec.
+
+    ``refs`` overrides the nominal reference count the workload reports
+    (``Machine.run`` derives kernel-noise volume from it); the default
+    is the summed stream length, but a replay of a generated workload
+    should pass the *original* refs so runs stay byte-identical to the
+    generator-backed ones even when threads don't divide it evenly.
+    """
+    from repro.workloads.trace_io import open_trace
+
+    streams = []
+    for index, path in enumerate(paths):
+        trace = open_trace(path)
+        lo, hi = (0, trace.count) if windows is None else windows[index]
+        streams.append(trace.window(lo, hi))
+    workload_spec = spec(name)
+    total = refs if refs is not None else sum(s.count for s in streams)
+    return ReplayWorkload(spec=workload_spec, streams=tuple(streams),
+                          refs=total)
 
 
 def load_workload(name: str, refs: int = DEFAULT_REFS, seed: int = 42) -> Workload:

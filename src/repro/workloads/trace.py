@@ -165,6 +165,21 @@ class TraceGenerator:
                 is_write=is_write,
             )
 
+    def columns(self, count: int) -> tuple[list[int], list[int], list[bool]]:
+        """The same trace as (instructions, addresses, is_write) columns.
+
+        Same records in the same order as :meth:`records`, shaped for
+        :func:`repro.workloads.trace_io.save_trace_columnar`.
+        """
+        instructions: list[int] = []
+        addresses: list[int] = []
+        writes: list[bool] = []
+        for record in self.records(count):
+            instructions.append(record.instructions)
+            addresses.append(record.address)
+            writes.append(record.is_write)
+        return instructions, addresses, writes
+
     def windows(
         self, count: int, window: int = 4096
     ) -> Iterator[list[TraceRecord]]:

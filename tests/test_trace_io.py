@@ -8,7 +8,11 @@ from repro.workloads.trace import LocalityProfile, TraceRecord
 from repro.workloads.trace_io import (
     TraceFormatError,
     load_trace,
+    open_trace,
+    read_window,
     save_trace,
+    save_trace_columnar,
+    trace_meta,
     trace_stats,
 )
 
@@ -76,3 +80,101 @@ class TestStats:
         assert stats["reads"] + stats["writes"] == 500
         assert stats["write_fraction"] == pytest.approx(0.5, abs=0.1)
         assert stats["footprint_bytes"] > 0
+
+
+class TestColumnar:
+    """v2 columnar format: O(1) windows, byte-identical record streams."""
+
+    def _records(self, count=400, seed=5):
+        profile = LocalityProfile(working_set_lines=256, hot_lines=32,
+                                  write_fraction=0.3)
+        return list(TraceGenerator(profile, seed=seed).records(count))
+
+    def test_columnar_round_trips(self, tmp_path):
+        records = self._records()
+        path = tmp_path / "t.coltrace"
+        assert save_trace_columnar(records, path) == len(records)
+        assert list(load_trace(path)) == records
+
+    def test_columnar_matches_row_format(self, tmp_path):
+        records = self._records()
+        row, col = tmp_path / "row.trace", tmp_path / "col.trace"
+        save_trace(records, row)
+        save_trace_columnar(records, col)
+        assert list(load_trace(row)) == list(load_trace(col))
+
+    def test_window_equals_slice(self, tmp_path):
+        records = self._records()
+        path = tmp_path / "t.coltrace"
+        save_trace_columnar(records, path)
+        trace = open_trace(path, shared=False)
+        assert trace.count == len(records)
+        window = trace.window(100, 180)
+        assert window.count == len(window) == 80
+        assert list(window) == records[100:180]
+        assert list(window) == records[100:180]  # re-iterable
+        assert window.stationary is True
+
+    def test_read_window_version_agnostic(self, tmp_path):
+        records = self._records()
+        row, col = tmp_path / "row.trace", tmp_path / "col.trace"
+        save_trace(records, row)
+        save_trace_columnar(records, col)
+        assert read_window(row, 37, 101) == records[37:101]
+        assert read_window(col, 37, 101) == records[37:101]
+        with pytest.raises(IndexError):
+            read_window(col, 0, len(records) + 1)
+
+    def test_trace_meta(self, tmp_path):
+        records = self._records(count=123)
+        row, col = tmp_path / "row.trace", tmp_path / "col.trace"
+        save_trace(records, row)
+        save_trace_columnar(records, col)
+        assert trace_meta(row) == {"version": 1, "records": 123}
+        assert trace_meta(col) == {"version": 2, "records": 123}
+
+    def test_columns_from_generator_match_record_save(self, tmp_path):
+        """The column-wise writer fast path emits identical bytes."""
+        workload = load_workload("aes", refs=600)
+        via_stream = tmp_path / "stream.coltrace"
+        via_records = tmp_path / "records.coltrace"
+        stream = workload.traces()[0]
+        save_trace_columnar(stream, via_stream)       # columns() path
+        save_trace_columnar(iter(stream), via_records)  # record path
+        assert via_stream.read_bytes() == via_records.read_bytes()
+
+    def test_shared_handle_cached_per_path(self, tmp_path):
+        path = tmp_path / "t.coltrace"
+        save_trace_columnar(self._records(50), path)
+        first = open_trace(path)
+        assert open_trace(path) is first
+        assert open_trace(path, shared=False) is not first
+
+    def test_pure_python_fallback_parity(self, tmp_path, monkeypatch):
+        from repro.workloads import trace_io
+
+        if not trace_io.HAVE_NUMPY:
+            pytest.skip("already on the fallback path")
+        records = self._records()
+        with_numpy = tmp_path / "np.coltrace"
+        save_trace_columnar(records, with_numpy)
+        monkeypatch.setattr(trace_io, "HAVE_NUMPY", False)
+        without = tmp_path / "plain.coltrace"
+        save_trace_columnar(records, without)
+        assert with_numpy.read_bytes() == without.read_bytes()
+        trace = open_trace(with_numpy, shared=False)
+        assert list(trace.window(40, 90)) == records[40:90]
+        trace.close()
+
+    def test_truncated_columns_rejected(self, tmp_path):
+        path = tmp_path / "t.coltrace"
+        save_trace_columnar(self._records(60), path)
+        path.write_bytes(path.read_bytes()[:-11])
+        with pytest.raises(TraceFormatError):
+            open_trace(path, shared=False)
+
+    def test_row_file_has_no_columnar_index(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(self._records(20), path)
+        with pytest.raises(TraceFormatError):
+            open_trace(path, shared=False)
