@@ -1,0 +1,98 @@
+"""Central numpy import guard and columnar-kernel mode switch.
+
+Every module that optionally accelerates with numpy imports it from
+here instead of growing its own ``try: import numpy`` block — one
+place decides whether the interpreter has numpy and whether the
+columnar kernels should use it.
+
+Two independent questions are answered:
+
+* :data:`HAVE_NUMPY` — is numpy importable at all?  Fixed at import
+  time.  Setting the ``REPRO_NO_NUMPY`` environment variable before
+  the first ``repro`` import forces False, which is how the CI
+  fallback leg proves no-numpy parity without uninstalling anything.
+* :func:`kernels_enabled` — should the exact-path columnar kernels
+  (DRAM/PSM/PMEM ``access_batch`` and the window array backing) run
+  vectorized right now?  Defaults to :data:`HAVE_NUMPY`; tests and
+  benchmarks flip it per-run with :func:`set_kernel_mode` to compare
+  the numpy kernels against the byte-identical Python loops on the
+  same interpreter.
+
+The kernels themselves guarantee observational identity with the
+scalar loops (same float expressions in the same order — see
+DESIGN.md "Columnar kernel layer"), so the mode switch changes *how*
+a window is served, never *what* it returns.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = [
+    "HAVE_NUMPY",
+    "kernel_mode",
+    "kernels_enabled",
+    "np",
+    "set_kernel_mode",
+]
+
+try:
+    if os.environ.get("REPRO_NO_NUMPY"):
+        raise ImportError("numpy disabled by REPRO_NO_NUMPY")
+    import numpy as np  # type: ignore[no-redef]
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI leg
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+#: None = follow HAVE_NUMPY; "numpy" = force kernels (raises without
+#: numpy); "fallback" = force the pure-python loops.
+_mode: Optional[str] = None
+
+
+def set_kernel_mode(mode: Optional[str]) -> None:
+    """Force the columnar-kernel mode for this process.
+
+    ``"numpy"`` requires numpy to be importable; ``"fallback"`` runs
+    the byte-identical Python loops even when numpy is present;
+    ``None`` restores the default (numpy when available).
+    """
+    global _mode
+    if mode not in (None, "numpy", "fallback"):
+        raise ValueError(f"unknown kernel mode {mode!r}")
+    if mode == "numpy" and not HAVE_NUMPY:
+        raise RuntimeError("cannot force numpy kernels: numpy unavailable")
+    _mode = mode
+
+
+def kernel_mode() -> str:
+    """The effective mode: ``"numpy"`` or ``"fallback"``."""
+    if _mode is not None:
+        return _mode
+    return "numpy" if HAVE_NUMPY else "fallback"
+
+
+def kernels_enabled() -> bool:
+    """Should the exact-path columnar kernels run vectorized?"""
+    if _mode is not None:
+        return _mode == "numpy"
+    return HAVE_NUMPY
+
+
+def fold_left_sum(initial: float, values) -> float:
+    """``initial + v0 + v1 + ...`` in strict left-to-right order.
+
+    Bitwise-identical to the scalar ``total += value`` loop: numpy's
+    ``add.accumulate`` is a sequential fold (unlike ``np.sum``'s
+    pairwise reduction, which associates differently).  ``values`` is
+    a 1-D float64 ndarray.
+    """
+    n = len(values)
+    if n == 0:
+        return initial
+    buf = np.empty(n + 1, dtype=np.float64)
+    buf[0] = initial
+    buf[1:] = values
+    return float(np.add.accumulate(buf)[-1])

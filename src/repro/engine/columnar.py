@@ -15,14 +15,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
-try:  # pragma: no cover - exercised via both branches in the unit suite
-    import numpy as _np
-
-    HAVE_NUMPY = True
-except ImportError:  # pragma: no cover
-    _np = None
-    HAVE_NUMPY = False
-
+# One central guard decides numpy availability (tests monkeypatch the
+# module-level HAVE_NUMPY re-export to force the pure-python branch).
+from repro._np import HAVE_NUMPY, np as _np
 from repro.memory.request import CACHELINE_BYTES
 
 __all__ = [
@@ -165,12 +160,14 @@ def summarize_responses(responses) -> ResponseSummary:
     """
     latencies: Iterable[float]
     if hasattr(responses, "latencies"):
-        latencies = list(responses.latencies())
-        blocked = list(responses.blocked)
+        # The cached column is consumed as-is (ndarray or list); the
+        # reductions below never mutate it, so no defensive copy.
+        latencies = responses.latencies()
+        blocked = responses.blocked
     else:
         latencies = [response.latency for response in responses]
         blocked = [response.blocked_ns for response in responses]
-    if not latencies:
+    if not len(latencies):
         return ResponseSummary(0, 0.0, 0.0, 0.0, 0.0)
     if HAVE_NUMPY:
         column = _np.asarray(latencies, dtype=float)

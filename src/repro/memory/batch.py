@@ -12,11 +12,17 @@ surface:
   parallel columns (flags, addresses, issue times) instead of request
   objects.  Backends with a native ``access_batch`` iterate the columns
   directly; request objects are materialized lazily and only on fallback
-  paths.
+  paths.  When numpy is available the columns are mirrored as ndarrays
+  (:meth:`RequestWindow.arrays`) so the columnar kernels in
+  :mod:`repro.memory.columnar` evaluate whole windows per ufunc pass;
+  :meth:`RequestWindow.from_arrays` builds a window directly over
+  ndarrays (zero-copy from the v2 ``.coltrace`` memmap columns).
 * :class:`ResponseWindow` — the columnar completion record.  It behaves
   like a sequence of :class:`MemoryResponse` but only builds a response
   object when an element is actually indexed; bulk consumers read the
-  ``complete``/``occupied``/``blocked`` columns or :meth:`latencies`.
+  ``complete``/``occupied``/``blocked`` columns or :meth:`latencies`
+  (which returns the cached latency *column* — list or ndarray — not a
+  fresh copy; treat it as read-only).
 * :func:`default_access_batch` — the correct-by-construction fallback:
   a loop over scalar ``access``.  Native implementations must be
   observationally identical to it (same responses, same stats, same
@@ -24,12 +30,22 @@ surface:
 * :func:`backend_access_batch` — the dispatch helper callers use; any
   backend without an ``access_batch`` attribute (e.g. a third-party
   implementation of the protocol) transparently gets the default loop.
+
+Zero-copy rules (pinned by ``tests/test_columnar_window.py``):
+:meth:`RequestWindow.subwindow` slices ndarray columns into *views* (and
+buffer-protocol columns into memoryviews) — a subwindow aliases its
+parent's memory.  Consumers must therefore never mutate a column in
+place; rebasing replaces the column object via
+:meth:`RequestWindow.replace_addresses`, which also keeps the cached
+ndarray mirror coherent.  Plain-list columns fall back to a shallow
+slice copy (Python lists have no view form).
 """
 
 from __future__ import annotations
 
 from typing import Iterator, Optional, Sequence, Union
 
+from repro import _np as _nphelper
 from repro.memory.request import (
     CACHELINE_BYTES,
     MemoryOp,
@@ -49,16 +65,31 @@ _READ = MemoryOp.READ
 _WRITE = MemoryOp.WRITE
 
 
+def _slice_column(column, start: int, stop: int):
+    """Slice one column, zero-copy where the container allows it.
+
+    ndarrays slice into views and buffer-protocol objects into
+    memoryviews (both alias the parent's memory); plain lists fall back
+    to a shallow copy.
+    """
+    if isinstance(column, (bytes, bytearray)) or type(column) is memoryview:
+        return memoryview(column)[start:stop]
+    return column[start:stop]
+
+
 class RequestWindow:
     """A window of uniform READ/WRITE requests as parallel columns.
 
     Every element shares ``size`` and carries no data payload — the shape
     of the timing fast path.  ``thread_ids`` may be ``None`` when the
-    whole window belongs to thread 0.
+    whole window belongs to thread 0.  Columns are plain lists when built
+    through ``__init__``/``from_requests`` and ndarrays when built through
+    :meth:`from_arrays`; either way :meth:`arrays` yields the (cached)
+    ndarray mirror the columnar kernels consume.
     """
 
     __slots__ = ("is_write", "addresses", "times", "thread_ids", "size",
-                 "_source")
+                 "_source", "_arrays")
 
     def __init__(
         self,
@@ -78,6 +109,54 @@ class RequestWindow:
         self.thread_ids = list(thread_ids) if thread_ids is not None else None
         self.size = size
         self._source: Optional[Sequence[MemoryRequest]] = None
+        self._arrays = None
+
+    @classmethod
+    def _bare(
+        cls,
+        is_write,
+        addresses,
+        times,
+        thread_ids,
+        size: int,
+        source=None,
+        arrays=None,
+    ) -> "RequestWindow":
+        """Internal constructor: adopt columns as-is (no copies)."""
+        window = cls.__new__(cls)
+        window.is_write = is_write
+        window.addresses = addresses
+        window.times = times
+        window.thread_ids = thread_ids
+        window.size = size
+        window._source = source
+        window._arrays = arrays
+        return window
+
+    @classmethod
+    def from_arrays(
+        cls,
+        is_write,
+        addresses,
+        times,
+        thread_ids=None,
+        size: int = CACHELINE_BYTES,
+    ) -> "RequestWindow":
+        """Build a window directly over ndarray columns (zero-copy).
+
+        ``asarray`` adopts the buffers without copying when the dtypes
+        already match (bool / int64 / float64) — the path the
+        ``.coltrace`` memmap columns take.  Requires numpy.
+        """
+        np = _nphelper.np
+        w = np.asarray(is_write, dtype=np.bool_)
+        a = np.asarray(addresses, dtype=np.int64)
+        t = np.asarray(times, dtype=np.float64)
+        if not (len(w) == len(a) == len(t)):
+            raise ValueError("window columns must have equal length")
+        if thread_ids is not None and len(thread_ids) != len(a):
+            raise ValueError("thread_ids column length mismatch")
+        return cls._bare(w, a, t, thread_ids, size, arrays=(w, a, t))
 
     @classmethod
     def from_requests(
@@ -117,38 +196,91 @@ class RequestWindow:
     def __len__(self) -> int:
         return len(self.addresses)
 
+    def arrays(self):
+        """The ``(is_write, addresses, times)`` columns as ndarrays.
+
+        Cached after the first call; zero-copy when the window was built
+        through :meth:`from_arrays`, one ``fromiter`` pass per column
+        otherwise.  Requires numpy — callers gate on
+        ``repro._np.kernels_enabled()``.
+        """
+        cached = self._arrays
+        if cached is None:
+            np = _nphelper.np
+            n = len(self.addresses)
+            cached = (
+                np.fromiter(self.is_write, dtype=np.bool_, count=n),
+                np.fromiter(self.addresses, dtype=np.int64, count=n),
+                np.fromiter(self.times, dtype=np.float64, count=n),
+            )
+            self._arrays = cached
+        return cached
+
+    def replace_addresses(self, addresses) -> None:
+        """Swap the address column (rebasing), keeping caches coherent.
+
+        The column object is *replaced*, never mutated in place — a
+        subwindow's columns may alias its parent's memory (see module
+        docstring), so rebasing must not write through the view.
+        """
+        self.addresses = addresses
+        cached = self._arrays
+        if cached is not None:
+            np = _nphelper.np
+            self._arrays = (
+                cached[0],
+                np.asarray(addresses, dtype=np.int64),
+                cached[2],
+            )
+        self._source = None  # source requests hold un-rebased addresses
+
     def request_at(self, index: int) -> MemoryRequest:
-        """Materialize (or recover) the request object for one element."""
+        """Materialize (or recover) the request object for one element.
+
+        Column values are coerced to builtin scalars so materialized
+        requests are identical whether the columns are lists or ndarrays.
+        """
         if self._source is not None:
             return self._source[index]
         request = MemoryRequest.__new__(MemoryRequest)
         request.op = _WRITE if self.is_write[index] else _READ
-        request.address = self.addresses[index]
+        request.address = int(self.addresses[index])
         request.size = self.size
-        request.time = self.times[index]
+        request.time = float(self.times[index])
         request.data = None
         request.thread_id = (
-            self.thread_ids[index] if self.thread_ids is not None else 0
+            int(self.thread_ids[index]) if self.thread_ids is not None else 0
         )
         request.metadata = None
         return request
 
     def subwindow(self, start: int, stop: int) -> "RequestWindow":
-        """A contiguous slice ``[start, stop)`` as its own window."""
-        sub = RequestWindow.__new__(RequestWindow)
-        sub.is_write = self.is_write[start:stop]
-        sub.addresses = self.addresses[start:stop]
-        sub.times = self.times[start:stop]
-        sub.thread_ids = (
-            self.thread_ids[start:stop] if self.thread_ids is not None
-            else None
+        """A contiguous slice ``[start, stop)`` as its own window.
+
+        Zero-copy wherever the columns allow it: ndarray columns (and
+        the cached :meth:`arrays` mirror) slice into views, so the
+        subwindow aliases this window's memory.  List columns fall back
+        to a shallow slice copy.
+        """
+        cached = self._arrays
+        return RequestWindow._bare(
+            _slice_column(self.is_write, start, stop),
+            _slice_column(self.addresses, start, stop),
+            _slice_column(self.times, start, stop),
+            (
+                _slice_column(self.thread_ids, start, stop)
+                if self.thread_ids is not None else None
+            ),
+            self.size,
+            source=(
+                list(self._source[start:stop]) if self._source is not None
+                else None
+            ),
+            arrays=(
+                tuple(column[start:stop] for column in cached)
+                if cached is not None else None
+            ),
         )
-        sub.size = self.size
-        sub._source = (
-            list(self._source[start:stop]) if self._source is not None
-            else None
-        )
-        return sub
 
     def requests(self) -> list[MemoryRequest]:
         return [self.request_at(i) for i in range(len(self))]
@@ -161,18 +293,21 @@ class ResponseWindow:
     constructor, so the ``occupied_until`` clamp and ``latency`` property
     behave exactly as on the scalar path.  ``overrides`` carries the few
     elements a native batch loop served through scalar fallback (they may
-    hold data payloads or flag bits the columns do not model).
+    hold data payloads or flag bits the columns do not model).  The
+    ``complete``/``occupied``/``blocked`` columns are lists on the
+    fallback loops and float64 ndarrays from the columnar kernels;
+    element access coerces to builtin floats either way.
     """
 
     __slots__ = ("window", "complete", "occupied", "blocked",
-                 "reconstructed", "overrides")
+                 "reconstructed", "overrides", "_latencies")
 
     def __init__(
         self,
         window: RequestWindow,
-        complete: list[float],
-        occupied: list[float],
-        blocked: list[float],
+        complete,
+        occupied,
+        blocked,
         reconstructed: Optional[set[int]] = None,
         overrides: Optional[dict[int, MemoryResponse]] = None,
     ) -> None:
@@ -182,6 +317,7 @@ class ResponseWindow:
         self.blocked = blocked
         self.reconstructed = reconstructed
         self.overrides = overrides
+        self._latencies = None
 
     def __len__(self) -> int:
         return len(self.complete)
@@ -195,9 +331,9 @@ class ResponseWindow:
                 return override
         return MemoryResponse(
             self.window.request_at(index),
-            complete_time=self.complete[index],
-            occupied_until=self.occupied[index],
-            blocked_ns=self.blocked[index],
+            complete_time=float(self.complete[index]),
+            occupied_until=float(self.occupied[index]),
+            blocked_ns=float(self.blocked[index]),
             reconstructed=(
                 self.reconstructed is not None
                 and index in self.reconstructed
@@ -208,15 +344,33 @@ class ResponseWindow:
         for index in range(len(self.complete)):
             yield self[index]
 
-    def latencies(self) -> list[float]:
-        """``response.latency`` for each element, computed columnwise."""
-        times = self.window.times
-        out = []
-        for index, complete in enumerate(self.complete):
-            if self.overrides is not None and index in self.overrides:
-                out.append(self.overrides[index].latency)
-            else:
-                out.append(complete - times[index])
+    def latencies(self):
+        """``response.latency`` for each element, as the latency *column*.
+
+        Computed once and cached; subsequent calls return the same
+        object (an ndarray when the columns are ndarrays, a list
+        otherwise).  Callers must treat it as read-only — it may share
+        memory with the window columns.
+        """
+        cached = self._latencies
+        if cached is not None:
+            return cached
+        complete = self.complete
+        overrides = self.overrides
+        if _nphelper.HAVE_NUMPY and isinstance(complete, _nphelper.np.ndarray):
+            out = complete - self.window.arrays()[2]
+            if overrides:
+                for index, response in overrides.items():
+                    out[index] = response.latency
+        else:
+            times = self.window.times
+            out = []
+            for index, complete_value in enumerate(complete):
+                if overrides is not None and index in overrides:
+                    out.append(overrides[index].latency)
+                else:
+                    out.append(complete_value - times[index])
+        self._latencies = out
         return out
 
 

@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional
 
+from repro import _np as _nphelper
 from repro.memory.batch import (
     BatchRequests,
     BatchResponses,
@@ -23,6 +24,7 @@ from repro.memory.batch import (
     ResponseWindow,
     default_access_batch,
 )
+from repro.memory.columnar import dram_access_window
 from repro.memory.device import DRAMDevice, DRAMTiming
 from repro.memory.extent import (
     Extent,
@@ -168,6 +170,8 @@ class DRAMSubsystem:
             raise ValueError(
                 f"DRAM boundary is cacheline-granular, got {size} B"
             )
+        if _nphelper.kernels_enabled():
+            return dram_access_window(self, window)
         config = self.config
         timing = config.timing
         queue_ns = config.queue_ns

@@ -43,6 +43,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Optional
 
+from repro import _np as _nphelper
 from repro.memory.batch import (
     BatchResponses,
     RequestWindow,
@@ -225,7 +226,11 @@ class FlushReport:
 
     def latencies(self) -> list[float]:
         if isinstance(self.responses, ResponseWindow):
-            return self.responses.latencies()
+            column = self.responses.latencies()
+            # Fresh builtin list either way: the window caches its column
+            # (possibly an ndarray) and callers may mutate our result.
+            return column.tolist() if not isinstance(column, list) \
+                else list(column)
         return [response.latency for response in self.responses]
 
 
@@ -246,14 +251,9 @@ def window_from_extents(
             return None
         addresses.extend(extent.addresses())
     n = len(addresses)
-    window = RequestWindow.__new__(RequestWindow)
-    window.is_write = [True] * n
-    window.addresses = addresses
-    window.times = [time] * n
-    window.thread_ids = None
-    window.size = size
-    window._source = None
-    return window
+    return RequestWindow._bare(
+        [True] * n, addresses, [time] * n, None, size
+    )
 
 
 def report_from_responses(
@@ -280,6 +280,14 @@ def report_from_responses(
                     blocked += responses.blocked[index]
                 if complete > done:
                     done = complete
+        elif _nphelper.HAVE_NUMPY and isinstance(
+            responses.complete, _nphelper.np.ndarray
+        ):
+            # max is order-insensitive and fold_left_sum replays the
+            # scalar accumulation order, so this stays bit-identical.
+            if len(responses):
+                done = max(done, float(responses.complete.max()))
+            blocked = _nphelper.fold_left_sum(blocked, responses.blocked)
         else:
             for complete in responses.complete:
                 if complete > done:
@@ -296,8 +304,8 @@ def report_from_responses(
         lines=len(responses),
         extents=extent_count,
         start_ns=time,
-        done_ns=done,
-        blocked_ns=blocked,
+        done_ns=float(done),
+        blocked_ns=float(blocked),
         responses=responses,
     )
 

@@ -40,6 +40,7 @@ from typing import (
     runtime_checkable,
 )
 
+from repro import _np as _nphelper
 from repro.memory.batch import (
     BatchRequests,
     BatchResponses,
@@ -348,6 +349,19 @@ class LatencyTap(Interposer):
         writes: list[float] = []
         if isinstance(responses, ResponseWindow):
             latencies = responses.latencies()
+            if _nphelper.HAVE_NUMPY and isinstance(
+                latencies, _nphelper.np.ndarray
+            ):
+                # Boolean-mask selection preserves order, so each sink
+                # sees the same value sequence as the scalar partition.
+                write_mask = responses.window.arrays()[0]
+                write_column = latencies[write_mask]
+                read_column = latencies[~write_mask]
+                if len(read_column):
+                    self.read_latency.record_many(read_column)
+                if len(write_column):
+                    self.write_latency.record_many(write_column)
+                return
             for index, is_write in enumerate(responses.window.is_write):
                 if is_write:
                     writes.append(latencies[index])
@@ -462,28 +476,31 @@ class BandwidthThrottle(Interposer):
         # ``_free_at`` trajectory, for exact state on a mid-window crash)
         # before handing the whole window to the inner backend.
         times = window.times
+        if not isinstance(times, list):
+            times = times.tolist()  # builtin floats for the scalar recurrence
         n = len(times)
         cost = window.size / self.bytes_per_ns
         free_at = self._free_at
         delays = [0.0] * n
         shifted_times = list(times)
         trajectory = [0.0] * n
+        delayed = False
         for index in range(n):
             t = times[index]
             delay = free_at - t
             if delay > 0.0:
                 delays[index] = delay
+                delayed = True
                 t = t + delay
                 shifted_times[index] = t
             free_at = t + cost
             trajectory[index] = free_at
-        shifted = RequestWindow.__new__(RequestWindow)
-        shifted.is_write = window.is_write
-        shifted.addresses = window.addresses
-        shifted.times = shifted_times
-        shifted.thread_ids = window.thread_ids
-        shifted.size = window.size
-        shifted._source = None
+        # An undelayed stream forwards the original window untouched,
+        # keeping any ndarray backing (and its zero-copy kernels) live.
+        shifted = window if not delayed else RequestWindow._bare(
+            window.is_write, window.addresses, shifted_times,
+            window.thread_ids, window.size,
+        )
         try:
             responses = backend_access_batch(self.inner, shifted)
         except InjectedPowerFailure as failure:
@@ -655,8 +672,18 @@ class AddressRangePartition:
         sub = window.subwindow(start, stop)
         if region.rebase:
             offset = region.start
-            sub.addresses = [address - offset for address in sub.addresses]
-            sub._source = None  # source requests hold un-rebased addresses
+            addresses = sub.addresses
+            # replace_addresses swaps the column object (a subwindow may
+            # alias the parent's memory) and keeps the ndarray mirror
+            # coherent; ndarray columns rebase in one vector op.
+            if _nphelper.HAVE_NUMPY and isinstance(
+                addresses, _nphelper.np.ndarray
+            ):
+                sub.replace_addresses(addresses - offset)
+            else:
+                sub.replace_addresses(
+                    [address - offset for address in addresses]
+                )
         try:
             responses = backend_access_batch(region.backend, sub)
         except InjectedPowerFailure as failure:
@@ -688,6 +715,8 @@ class AddressRangePartition:
             return default_access_batch(self, requests)
         out: list[MemoryResponse] = []
         addresses = window.addresses
+        if not isinstance(addresses, list):
+            addresses = addresses.tolist()  # builtin ints for the region scan
         size = window.size
         run_start = 0
         run_region: Optional[AddressRange] = None

@@ -66,6 +66,8 @@ from repro.memory.request import (
     MemoryResponse,
 )
 from repro.memory.rowbuffer import WriteAggregationBuffer
+from repro import _np as _nphelper
+from repro.ocpmem.columnar import psm_access_window
 from repro.ocpmem.ecc import SymbolECC, XORCodec
 from repro.ocpmem.nvdimm import BareNVDIMM, Layout
 from repro.ocpmem.wear import StartGap
@@ -258,6 +260,15 @@ class PSM:
             return default_access_batch(self, requests)
         if window.size > CACHELINE_BYTES:
             raise ValueError("PSM boundary is cacheline-granular")
+        if (
+            _nphelper.kernels_enabled()
+            and cfg.rotate_seed_every is None
+            and not self.wear.track_wear
+            and not any(
+                die.track_wear for d in self.nvdimms for die in d.dies
+            )
+        ):
+            return psm_access_window(self, window)
         port_ns = cfg.port_ns
         buffer_ns = cfg.buffer_ns
         limit_ns = cfg.write_backlog_limit_ns

@@ -41,6 +41,8 @@ from repro.memory.request import (
     MemoryResponse,
     cacheline_of,
 )
+from repro import _np as _nphelper
+from repro.pmem.columnar import pmem_controller_window
 from repro.pmem.dimm import PMEMDIMM
 from repro.sim.stats import LatencyStats, RatioStat, StatsRegistry
 
@@ -118,6 +120,8 @@ class PMEMController:
             else RequestWindow.from_requests(requests)
         if window is None:
             return default_access_batch(self, requests)
+        if _nphelper.kernels_enabled():
+            return pmem_controller_window(self, window)
         dimms = self.dimms
         n_dimms = len(dimms)
         request_ns = self.ddrt.request_ns
@@ -172,15 +176,13 @@ class PMEMController:
             indices = sub_index[dimm_index]
             if not indices:
                 continue
-            sub = RequestWindow.__new__(RequestWindow)
-            sub.is_write = sub_write[dimm_index]
-            sub.addresses = sub_addr[dimm_index]
-            sub.times = sub_time[dimm_index]
-            sub.thread_ids = (
-                sub_tid[dimm_index] if thread_ids is not None else None
+            sub = RequestWindow._bare(
+                sub_write[dimm_index],
+                sub_addr[dimm_index],
+                sub_time[dimm_index],
+                sub_tid[dimm_index] if thread_ids is not None else None,
+                size,
             )
-            sub.size = size
-            sub._source = None
             responses = backend_access_batch(dimms[dimm_index], sub)
             if isinstance(responses, ResponseWindow):
                 sub_complete = responses.complete

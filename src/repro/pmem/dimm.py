@@ -35,6 +35,8 @@ from repro.memory.request import (
     PMEM_INTERNAL_BYTES,
     PRAM_DEVICE_BYTES,
 )
+from repro import _np as _nphelper
+from repro.pmem.columnar import pmem_dimm_window
 from repro.pmem.lsq import LoadStoreQueue, LSQEntry
 from repro.sim.stats import LatencyStats
 
@@ -208,6 +210,10 @@ class PMEMDIMM:
         size = window.size
         if size > CACHELINE_BYTES:
             raise ValueError("PMEM DIMM boundary is cacheline-granular")
+        if _nphelper.kernels_enabled() and not any(
+            die.track_wear for die in self.dies
+        ):
+            return pmem_dimm_window(self, window)
         timing = self.timing
         lsq_ns = timing.lsq_ns
         sram_lookup_ns = timing.sram_lookup_ns

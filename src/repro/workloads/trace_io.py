@@ -27,14 +27,9 @@ import struct
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence, Union
 
-try:  # pragma: no cover - exercised via both branches in the unit suite
-    import numpy as _np
-
-    HAVE_NUMPY = True
-except ImportError:  # pragma: no cover
-    _np = None
-    HAVE_NUMPY = False
-
+# One central guard decides numpy availability (tests monkeypatch the
+# module-level HAVE_NUMPY re-export to force the pure-python branch).
+from repro._np import HAVE_NUMPY, np as _np
 from repro.workloads.trace import TraceRecord
 
 __all__ = [

@@ -1,0 +1,30 @@
+"""Shared fixtures: the columnar-kernel mode matrix.
+
+The exact-path columnar kernels (DRAM/PSM/PMEM ``access_batch``, the
+window array backing) promise observational identity with the pure
+Python loops.  ``kernel_mode`` parametrizes a suite over both modes via
+:func:`repro._np.set_kernel_mode`, so every equivalence assertion runs
+once against the fallback loops and once against the numpy kernels on
+the same interpreter.  The numpy leg skips cleanly when numpy is absent
+(the ``REPRO_NO_NUMPY`` CI leg), leaving the fallback leg as proof of
+no-numpy parity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import _np
+
+
+@pytest.fixture(params=["fallback", "numpy"], scope="module")
+def kernel_mode(request):
+    """Force one columnar-kernel mode for the requesting module."""
+    mode = request.param
+    if mode == "numpy" and not _np.HAVE_NUMPY:
+        pytest.skip("numpy unavailable: only the fallback leg runs")
+    _np.set_kernel_mode(mode)
+    try:
+        yield mode
+    finally:
+        _np.set_kernel_mode(None)

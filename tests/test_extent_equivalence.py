@@ -56,6 +56,18 @@ from repro.pmem.dimm import PMEMDIMM
 from repro.sim.stats import StatsRegistry
 
 
+@pytest.fixture(autouse=True, scope="module")
+def _kernel_mode_matrix(kernel_mode):
+    """Run this whole suite once per columnar-kernel mode.
+
+    Scalar/batched (and scalar/extent) identity must hold both when the
+    batch path runs the pure Python loops and when it runs the numpy
+    kernels; the module-scoped matrix proves stats trees, wear
+    registers and fault splits match in either mode.
+    """
+    yield
+
+
 def _pmem():
     return PMEMController(
         [PMEMDIMM(capacity=1 << 22), PMEMDIMM(capacity=1 << 22)]
